@@ -1,0 +1,342 @@
+package ccprof
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`), plus the ablations
+// from DESIGN.md and micro-benchmarks of the profiling substrates. Each
+// experiment benchmark prints its reproduced table/figure once (on the
+// first iteration) and reports domain-specific metrics via b.ReportMetric.
+//
+// Experiment benches run at Quick scale by default so `go test -bench=.`
+// finishes promptly; set CCPROF_BENCH_FULL=1 to regenerate the full-scale
+// numbers recorded in EXPERIMENTS.md (cmd/experiments does the same).
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/mem"
+	"repro/internal/pmu"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func benchScale() experiments.Scale {
+	if os.Getenv("CCPROF_BENCH_FULL") != "" {
+		return experiments.Full
+	}
+	return experiments.Quick
+}
+
+// printOnce renders an experiment's report to stdout on the first
+// iteration only.
+func printOnce(b *testing.B, i int, render func() error) {
+	if i != 0 {
+		return
+	}
+	b.StopTimer()
+	if err := render(); err != nil {
+		b.Fatal(err)
+	}
+	b.StartTimer()
+}
+
+// BenchmarkFig2Symmetrization regenerates Figure 2: L2 miss reduction from
+// 64-byte row padding of the symmetrization kernel.
+func BenchmarkFig2Symmetrization(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(nil, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.Fig2(os.Stdout, scale); return err })
+		b.ReportMetric(res.L2ReductionPct, "L2red%")
+	}
+}
+
+// BenchmarkFig7RodiniaCDF regenerates Figure 7: RCD CDFs of the 18
+// Rodinia-style kernels; the reported metrics are NW's short-RCD
+// contribution factor versus the maximum among the clean kernels.
+func BenchmarkFig7RodiniaCDF(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(nil, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.Fig7(os.Stdout, scale); return err })
+		var nw, maxClean float64
+		for _, r := range rows {
+			if r.App == "nw" {
+				nw = r.CF
+			} else if r.CF > maxClean {
+				maxClean = r.CF
+			}
+		}
+		b.ReportMetric(100*nw, "nw-cf%")
+		b.ReportMetric(100*maxClean, "maxclean-cf%")
+	}
+}
+
+// BenchmarkFig8AccuracyOverhead regenerates Figure 8: classifier F1 and
+// mean overhead across the sampling-period sweep. Reported metrics are the
+// F1 scores at the paper's two anchor periods (171 and 1212).
+func BenchmarkFig8AccuracyOverhead(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig8(nil, scale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.Fig8(os.Stdout, scale, nil); return err })
+		for _, p := range pts {
+			switch p.Period {
+			case 171:
+				b.ReportMetric(p.F1, "F1@171")
+			case 1212:
+				b.ReportMetric(p.F1, "F1@1212")
+				b.ReportMetric(p.Overhead, "overhead@1212")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9BeforeAfter regenerates Figure 9: short-RCD contribution
+// before vs after each case study's optimization; the metric is the mean
+// relative reduction.
+func BenchmarkFig9BeforeAfter(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(nil, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.Fig9(os.Stdout, scale); return err })
+		var sum float64
+		for _, r := range rows {
+			if r.CFOrig > 0 {
+				sum += 1 - r.CFOpt/r.CFOrig
+			}
+		}
+		b.ReportMetric(100*sum/float64(len(rows)), "meanCFred%")
+	}
+}
+
+// BenchmarkTable2Overhead regenerates Table 2: per-app loop contributions
+// and profiling-vs-simulation overheads; the metrics are the medians the
+// paper headlines (simulation 264x, CCProf 1.37x).
+func BenchmarkTable2Overhead(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(nil, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.Table2(os.Stdout, scale); return err })
+		sims := make([]float64, 0, len(rows))
+		profs := make([]float64, 0, len(rows))
+		for _, r := range rows {
+			sims = append(sims, r.SimOverheadLoop)
+			profs = append(profs, r.CCProfOverhead)
+		}
+		b.ReportMetric(median(sims), "sim-median-x")
+		b.ReportMetric(median(profs), "ccprof-median-x")
+	}
+}
+
+// BenchmarkTable3Speedup regenerates Table 3: hierarchy-simulated speedups
+// and miss reductions for every case study on both machines.
+func BenchmarkTable3Speedup(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(nil, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.Table3(os.Stdout, scale); return err })
+		var best, sum float64
+		for _, r := range rows {
+			sum += r.Speedup
+			if r.Speedup > best {
+				best = r.Speedup
+			}
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean-speedup-x")
+		b.ReportMetric(best, "best-speedup-x")
+	}
+}
+
+// BenchmarkTable4NWLoops regenerates Table 4: per-loop set utilization of
+// Needleman-Wunsch; metrics are the sets used by the hottest and coldest
+// attributed loops.
+func BenchmarkTable4NWLoops(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(nil, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.Table4(os.Stdout, scale); return err })
+		if len(rows) > 0 {
+			b.ReportMetric(float64(rows[0].SetsUsed), "top-loop-sets")
+			b.ReportMetric(float64(rows[len(rows)-1].SetsUsed), "bottom-loop-sets")
+		}
+	}
+}
+
+// Ablation benches (design choices from DESIGN.md).
+
+// BenchmarkAblationThreshold sweeps the short-RCD threshold T and reports
+// the separation margin at the paper's T=8.
+func BenchmarkAblationThreshold(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationThreshold(nil, scale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.AblationThreshold(os.Stdout, scale, nil); return err })
+		for _, r := range rows {
+			if r.T == 8 {
+				b.ReportMetric(100*r.Margin, "margin@T8%")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPeriodDist compares period-randomization strategies.
+func BenchmarkAblationPeriodDist(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPeriodDist(nil, scale, 0); err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.AblationPeriodDist(os.Stdout, scale, 0); return err })
+	}
+}
+
+// BenchmarkAblationReplacement compares L1 replacement policies.
+func BenchmarkAblationReplacement(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationReplacement(nil, scale); err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.AblationReplacement(os.Stdout, scale); return err })
+	}
+}
+
+// Micro-benchmarks of the substrates (throughput per reference).
+
+// BenchmarkSamplerThroughput measures the simulated-PMU cost per reference
+// — the in-harness analogue of CCProf's online overhead.
+func BenchmarkSamplerThroughput(b *testing.B) {
+	s := pmu.NewSampler(pmu.Config{Geom: mem.L1Default(), Period: pmu.Uniform(pmu.DefaultPeriod), Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Ref(trace.Ref{IP: 1, Addr: uint64(i) * 64})
+	}
+}
+
+// BenchmarkWorkloadEmission measures raw trace-generation speed (the
+// "application running natively" baseline of the overhead comparison).
+func BenchmarkWorkloadEmission(b *testing.B) {
+	cs := workloads.NewADI(256, 1)
+	var n int64
+	for i := 0; i < b.N; i++ {
+		var c trace.Counter
+		cs.Original.Run(&c)
+		n += int64(c.Total())
+	}
+	b.ReportMetric(float64(n)/float64(b.N), "refs/op")
+}
+
+// BenchmarkExactSimulation measures the trace-driven simulator's cost per
+// reference (the Dinero-path the paper compares against).
+func BenchmarkExactSimulation(b *testing.B) {
+	cs := workloads.NewADI(256, 1)
+	rec := cs.Original.Record()
+	sys := Simulate(cs.Original, Skylake(), 1)
+	_ = sys
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l1 := Simulate(cs.Original, Skylake(), 1)
+		_ = l1
+	}
+	b.ReportMetric(float64(rec.Len()), "refs/op")
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if s[j] < s[i] {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// BenchmarkBaselineDetectors regenerates the detector-comparison table
+// (related work, §7.1): CCProf vs DProf-style vs MST vs exact 3C.
+func BenchmarkBaselineDetectors(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Baselines(nil, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.Baselines(os.Stdout, scale); return err })
+		for _, r := range rows {
+			if r.Detector == "CCProf (RCD, sampled)" {
+				b.ReportMetric(r.F1(), "ccprof-F1")
+			}
+		}
+	}
+}
+
+// BenchmarkL2Extension regenerates the physically-indexed L2 study (the
+// paper's footnote-1 future work, built here).
+func BenchmarkL2Extension(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.L2Extension(nil, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.L2Extension(os.Stdout, scale); return err })
+		for _, r := range rows {
+			if r.Variant == "original" && r.Policy == 0 {
+				b.ReportMetric(100*r.CF, "orig-identity-cf%")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBurst compares bursty vs single-event sampling (the
+// paper's §5.2 "bursty sampling" approximation) at equal sample budget.
+func BenchmarkAblationBurst(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationBurst(nil, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.AblationBurst(os.Stdout, scale); return err })
+		for _, r := range rows {
+			if r.Mode[0] == 'b' {
+				b.ReportMetric(r.F1, "burst-F1")
+			} else {
+				b.ReportMetric(r.F1, "single-F1")
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package ccprof is a pure-Go reproduction of CCProf, the lightweight
+// cache-conflict profiler of Roy, Song, Krishnamoorthy and Liu,
+// "Lightweight Detection of Cache Conflicts" (CGO 2018).
+//
+// CCProf detects conflict misses in set-associative caches by sampling
+// L1-miss addresses, attributing each sampled miss to its cache set, and
+// computing the Re-Conflict Distance (RCD) — the distance in miss events
+// between consecutive misses on the same set. A large fraction of misses at
+// short RCD marks a loop as conflict-ridden; a simple logistic regression
+// turns that fraction (the contribution factor) into a binary verdict, and
+// code-/data-centric attribution names the loops and data structures to
+// pad.
+//
+// This package is the public facade. A typical session:
+//
+//	cs, _ := ccprof.Workload("adi")                     // a paper case study
+//	prof, _ := ccprof.ProfileProgram(cs.Original, ccprof.ProfileOptions{})
+//	an, _ := ccprof.Analyze(prof, cs.Original.Binary, cs.Original.Arena, ccprof.AnalyzeOptions{})
+//	ccprof.WriteReport(os.Stdout, an)
+//
+// Real hardware is replaced by simulation substrates (see DESIGN.md): a
+// simulated PEBS sampler over a cycle-faithful L1 model, a trace-driven
+// multi-level cache simulator for ground truth, and synthetic binaries from
+// which the analyzer recovers loop nests via interval analysis.
+package ccprof
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/advisor"
+	"repro/internal/alloc"
+	"repro/internal/cache"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/objfile"
+	"repro/internal/pmu"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Re-exported core types. These are aliases, so values flow freely between
+// the facade and the internal packages.
+type (
+	// Program is a runnable kernel: binary + allocation arena + run
+	// function.
+	Program = workloads.Program
+	// CaseStudy pairs the original and optimized variants of a paper
+	// case study.
+	CaseStudy = workloads.CaseStudy
+	// Profile is the output of the online sampling phase.
+	Profile = core.Profile
+	// ProfileOptions configures online profiling.
+	ProfileOptions = core.ProfileOptions
+	// Analysis is the offline analyzer's report.
+	Analysis = core.Analysis
+	// AnalyzeOptions configures offline analysis.
+	AnalyzeOptions = core.AnalyzeOptions
+	// LoopReport is one loop's row in the analysis.
+	LoopReport = core.LoopReport
+	// DataReport is one data structure's row in the analysis.
+	DataReport = core.DataReport
+	// OverheadModel converts sample counts into runtime-overhead factors.
+	OverheadModel = core.OverheadModel
+	// Machine describes an evaluation platform's cache hierarchy.
+	Machine = mem.Machine
+	// Geometry describes one cache level.
+	Geometry = mem.Geometry
+	// Sample is one PEBS-style address sample.
+	Sample = pmu.Sample
+	// Ref is one memory reference of a workload trace.
+	Ref = trace.Ref
+	// Sink consumes a reference stream.
+	Sink = trace.Sink
+	// Binary is a synthetic executable.
+	Binary = objfile.Binary
+	// BinaryBuilder assembles synthetic executables for custom kernels.
+	BinaryBuilder = objfile.Builder
+	// Arena is the simulated heap for data-centric attribution.
+	Arena = alloc.Arena
+	// Logistic is the conflict classifier model.
+	Logistic = classify.Logistic
+)
+
+// ProfileProgram runs the workload under the simulated PMU (the online
+// phase). The zero options profile a sequential run at the recommended
+// mean sampling period of 1212.
+func ProfileProgram(p *Program, opts ProfileOptions) (*Profile, error) {
+	return core.ProfileProgram(p, opts)
+}
+
+// Analyze runs the offline phase: loop recovery, RCD approximation,
+// conflict classification, and code-/data-centric attribution.
+func Analyze(prof *Profile, bin *Binary, arena *Arena, opts AnalyzeOptions) (*Analysis, error) {
+	return core.Analyze(prof, bin, arena, opts)
+}
+
+// ProfileAndAnalyze chains both phases with the given options.
+func ProfileAndAnalyze(p *Program, popts ProfileOptions, aopts AnalyzeOptions) (*Analysis, error) {
+	prof, err := core.ProfileProgram(p, popts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Analyze(prof, p.Binary, p.Arena, aopts)
+}
+
+// Workload builds a named paper case study at its default scale; see
+// WorkloadNames for the registry.
+func Workload(name string) (*CaseStudy, error) { return workloads.Get(name) }
+
+// WorkloadNames lists the registered case studies.
+func WorkloadNames() []string { return workloads.Names() }
+
+// RodiniaSuite returns the 18 Rodinia-style kernels of the Figure 7 sweep.
+func RodiniaSuite() []*Program { return workloads.RodiniaSuite() }
+
+// NewProgram assembles a custom Program; see examples/custom-workload.
+func NewProgram(name string, bin *Binary, ar *Arena,
+	run func(tid, threads int, sink Sink)) *Program {
+	return workloads.NewProgram(name, bin, ar, run)
+}
+
+// NewBinaryBuilder starts a synthetic binary for a custom kernel.
+func NewBinaryBuilder(name string) *BinaryBuilder { return objfile.NewBuilder(name) }
+
+// NewArena returns an empty simulated heap.
+func NewArena() *Arena { return alloc.NewArena() }
+
+// Broadwell and Skylake return the paper's two evaluation machines.
+func Broadwell() Machine { return mem.Broadwell() }
+
+// Skylake returns the paper's Skylake configuration.
+func Skylake() Machine { return mem.Skylake() }
+
+// L1Default returns the 32KiB 8-way, 64-set L1 geometry used throughout
+// the paper's evaluation.
+func L1Default() Geometry { return mem.L1Default() }
+
+// DefaultModel returns the built-in conflict classifier.
+func DefaultModel() Logistic { return core.DefaultModel() }
+
+// DefaultOverheadModel returns the calibrated overhead model.
+func DefaultOverheadModel() OverheadModel { return core.DefaultOverheadModel() }
+
+// DefaultPeriod is the recommended mean sampling period (paper §5.3).
+const DefaultPeriod = pmu.DefaultPeriod
+
+// RCDThreshold is the default short-RCD threshold T.
+const RCDThreshold = 8
+
+// WriteReport renders an analysis as text: the program verdict, the
+// per-loop table (code-centric attribution) and the per-data-structure
+// table (data-centric attribution).
+func WriteReport(w io.Writer, an *Analysis) error {
+	verdict := "no significant conflict misses"
+	if an.Conflict {
+		verdict = "CONFLICT MISSES DETECTED"
+	}
+	if _, err := fmt.Fprintf(w,
+		"CCProf report for %s\n  samples: %d   program cf(T=%d): %s   verdict: %s\n\n",
+		an.Workload, an.TotalSamples, an.Threshold, report.Pct(an.CF), verdict); err != nil {
+		return err
+	}
+	lt := report.NewTable("Loops (code-centric attribution)",
+		"loop", "depth", "samples", "miss contrib", "sets", "cf", "conflict")
+	for _, l := range an.Loops {
+		lt.Row(l.Loop, l.Depth, l.Samples, report.Pct(l.Contribution), l.SetsUsed,
+			report.Pct(l.CF), l.Conflict)
+	}
+	if err := lt.Write(w); err != nil {
+		return err
+	}
+	if len(an.Data) == 0 {
+		return nil
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	dt := report.NewTable("Data structures (data-centric attribution)",
+		"allocation", "samples", "miss contrib", "short-RCD samples")
+	for _, d := range an.Data {
+		dt.Row(d.Name, d.Samples, report.Pct(d.Contribution), d.ShortRCD)
+	}
+	return dt.Write(w)
+}
+
+// Simulate runs a program through a full multi-level cache simulation on
+// the given machine with the given thread count (capped at the machine's
+// thread count) and returns the populated system — the ground-truth path
+// used by the Table 3 experiments.
+func Simulate(p *Program, m Machine, threads int) *cache.System {
+	if threads < 1 || threads > m.Threads {
+		threads = m.Threads
+	}
+	sys := cache.NewSystem(m, threads)
+	streams := trace.NewThreadedRecorder(threads)
+	for tid := 0; tid < threads; tid++ {
+		p.RunThread(tid, threads, streams.Thread(tid))
+	}
+	// Interleave per-thread streams into the shared hierarchy in
+	// fixed-size chunks, approximating concurrent execution.
+	const chunk = 64
+	pos := make([]int, threads)
+	for {
+		progressed := false
+		for t := 0; t < threads; t++ {
+			s := streams.Streams[t]
+			end := pos[t] + chunk
+			if end > len(s) {
+				end = len(s)
+			}
+			for ; pos[t] < end; pos[t]++ {
+				sys.Access(t, s[pos[t]].Addr)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return sys
+		}
+	}
+}
+
+// RecommendPad searches candidate row pads for a rebuildable kernel and
+// returns the cheapest pad removing the conflict signature — the
+// mechanical version of the paper's §6 optimization step. See
+// internal/advisor for options and examples/advisor for a walkthrough.
+func RecommendPad(build func(pad uint64) *Program, opts advisor.Options) (advisor.Result, error) {
+	return advisor.RecommendPad(build, opts)
+}
+
+// ProfileL2 runs the physically-indexed L2 profiling extension (the
+// paper's footnote-1 future work): L2-miss address sampling, translated
+// through a simulated page table, analyzed over physical set indices.
+func ProfileL2(p *Program, opts core.L2ProfileOptions) (*core.L2Analysis, error) {
+	return core.ProfileL2(p, opts)
+}

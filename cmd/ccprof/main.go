@@ -1,0 +1,256 @@
+// Command ccprof profiles a built-in workload with the simulated PMU and
+// prints the conflict-miss report — the CLI equivalent of the paper's
+// ccProf_run_and_analyze.sh workflow.
+//
+// Usage:
+//
+//	ccprof -list
+//	ccprof [-period N] [-threshold T] [-variant original|optimized]
+//	       [-profile-out FILE] <workload>
+//	ccprof -analyze FILE <workload>     # offline analysis of a saved profile
+//
+// Examples:
+//
+//	ccprof adi                    # profile PolyBench ADI, report conflicts
+//	ccprof -variant optimized adi # confirm padding removed the conflicts
+//	ccprof -period 31 himeno      # short conflict periods need fast sampling
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/pmu"
+	"repro/internal/vmem"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list available workloads and exit")
+		period     = flag.Uint64("period", 0, "mean sampling period (0 = the workload's recommended period)")
+		threshold  = flag.Int("threshold", ccprof.RCDThreshold, "short-RCD threshold T")
+		variant    = flag.String("variant", "original", "workload variant: original or optimized")
+		threads    = flag.Int("threads", 1, "threads to profile")
+		seed       = flag.Int64("seed", 1, "sampling RNG seed")
+		profileOut = flag.String("profile-out", "", "also write the raw profile to this file")
+		analyzeIn  = flag.String("analyze", "", "skip profiling; analyze this saved profile file")
+		jsonOut    = flag.Bool("json", false, "emit the analysis as JSON instead of text")
+		compare    = flag.Bool("compare", false, "profile both variants and compare verdicts")
+		l2         = flag.Bool("l2", false, "physically-indexed L2 profiling (the footnote-1 extension)")
+		pagePolicy = flag.String("page-policy", "identity", "L2 mode: identity, sequential, or random frame allocation")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ccprof [flags] <workload>\nworkloads: %v\nflags:\n", ccprof.WorkloadNames())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, n := range ccprof.WorkloadNames() {
+			cs, err := ccprof.Workload(n)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-16s %s\n", n, cs.Desc)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cs, err := ccprof.Workload(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare {
+		if err := compareVariants(cs, *period, *threshold, *seed, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	prog := cs.Original
+	if *l2 {
+		if *variant == "optimized" {
+			prog = cs.Optimized
+		}
+		if err := profileL2(prog, cs, *period, *seed, *pagePolicy, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *variant == "optimized" {
+		prog = cs.Optimized
+	} else if *variant != "original" {
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+
+	var prof *ccprof.Profile
+	if *analyzeIn != "" {
+		f, err := os.Open(*analyzeIn)
+		if err != nil {
+			fatal(err)
+		}
+		prof, err = core.ReadProfile(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		p := *period
+		if p == 0 {
+			p = cs.ProfilePeriod
+		}
+		prof, err = ccprof.ProfileProgram(prog, ccprof.ProfileOptions{
+			Period:  pmu.Uniform(p),
+			Seed:    *seed,
+			Threads: *threads,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profiled %s: %d refs, %d L1-miss events, %d samples (mean period %.0f), measured overhead %.2fx\n\n",
+			prog.Name, prof.Refs, prof.Events, prof.SampleCount(), prof.PeriodMean, prof.MeasuredOverhead())
+	}
+
+	if *profileOut != "" {
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := prof.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote profile to %s\n\n", *profileOut)
+	}
+
+	an, err := ccprof.Analyze(prof, prog.Binary, prog.Arena, ccprof.AnalyzeOptions{Threshold: *threshold})
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, an); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := ccprof.WriteReport(os.Stdout, an); err != nil {
+		fatal(err)
+	}
+}
+
+// compareVariants profiles both builds of a case study and reports the
+// before/after verdicts, cf values, and per-loop movement — the Figure 9
+// view for one application.
+func compareVariants(cs *ccprof.CaseStudy, period uint64, threshold int, seed int64, jsonOut bool) error {
+	if period == 0 {
+		period = cs.ProfilePeriod
+	}
+	analyze := func(p *ccprof.Program) (*ccprof.Analysis, error) {
+		return ccprof.ProfileAndAnalyze(p,
+			ccprof.ProfileOptions{Period: pmu.Uniform(period), Seed: seed, NoTime: true},
+			ccprof.AnalyzeOptions{Threshold: threshold})
+	}
+	orig, err := analyze(cs.Original)
+	if err != nil {
+		return err
+	}
+	opt, err := analyze(cs.Optimized)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return writeJSON(os.Stdout, map[string]*ccprof.Analysis{
+			"original": orig, "optimized": opt,
+		})
+	}
+	fmt.Printf("%s — original vs optimized (mean period %d)\n\n", cs.Name, period)
+	fmt.Printf("%-10s  %-8s  %-8s  %s\n", "variant", "samples", "cf", "verdict")
+	for _, v := range []struct {
+		name string
+		an   *ccprof.Analysis
+	}{{"original", orig}, {"optimized", opt}} {
+		verdict := "clean"
+		if v.an.Conflict {
+			verdict = "CONFLICT"
+		}
+		fmt.Printf("%-10s  %-8d  %-8.1f  %s\n", v.name, v.an.TotalSamples, 100*v.an.CF, verdict)
+	}
+	if orig.CF > 0 {
+		fmt.Printf("\nshort-RCD contribution reduced by %.1f%%\n", 100*(1-opt.CF/orig.CF))
+	}
+	return nil
+}
+
+// profileL2 runs the physically-indexed L2 extension and prints its report.
+func profileL2(prog *ccprof.Program, cs *ccprof.CaseStudy, period uint64, seed int64, policy string, jsonOut bool) error {
+	var pol vmem.Policy
+	switch policy {
+	case "identity":
+		pol = vmem.Identity
+	case "sequential":
+		pol = vmem.Sequential
+	case "random":
+		pol = vmem.Random
+	default:
+		return fmt.Errorf("unknown page policy %q", policy)
+	}
+	if period == 0 {
+		period = cs.ProfilePeriod
+	}
+	an, err := ccprof.ProfileL2(prog, core.L2ProfileOptions{
+		Period: pmu.Uniform(period),
+		Seed:   seed,
+		Policy: pol,
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return writeJSON(os.Stdout, an)
+	}
+	verdict := "no significant L2 conflict misses"
+	if an.Conflict() {
+		verdict = "L2 CONFLICT MISSES DETECTED"
+	}
+	fmt.Printf("L2 profile of %s (page policy %s)\n", an.Workload, an.Policy)
+	fmt.Printf("  samples: %d of %d L2-miss events\n", an.Samples, an.Events)
+	fmt.Printf("  physical sets used: %d   cf(T=%d): %.1f%%   verdict: %s\n",
+		an.SetsUsed, an.Threshold, 100*an.CF, verdict)
+	if top := an.TopData(); len(top) > 0 {
+		fmt.Printf("  top data structures: ")
+		for i, name := range top {
+			if i > 2 {
+				break
+			}
+			if i > 0 {
+				fmt.Printf(", ")
+			}
+			fmt.Printf("%s (%d)", name, an.Data[name])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,156 @@
+// Command ccsim is a Dinero-style trace-driven cache simulator: it replays
+// a serialized CCProf trace (or a built-in workload) through a configurable
+// set-associative cache and reports hit/miss statistics, per-set miss
+// distribution, miss classification, and exact RCD metrics — the
+// ground-truth path the paper validates CCProf against.
+//
+// Usage:
+//
+//	ccsim -trace FILE [-line 64 -sets 64 -ways 8]
+//	ccsim -workload adi [-variant optimized] [-dump FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/rcd"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		traceIn  = flag.String("trace", "", "replay this serialized trace file")
+		workload = flag.String("workload", "", "or: run this built-in workload")
+		variant  = flag.String("variant", "original", "workload variant: original or optimized")
+		dump     = flag.String("dump", "", "also serialize the reference trace to this file")
+		compress = flag.Bool("compress", false, "use the compressed trace format for -dump")
+		lineSize = flag.Int("line", 64, "cache line size (bytes)")
+		sets     = flag.Int("sets", 64, "number of cache sets")
+		ways     = flag.Int("ways", 8, "associativity")
+		top      = flag.Int("top", 8, "victim sets to display")
+	)
+	flag.Parse()
+
+	geom, err := mem.NewGeometry(*lineSize, *sets, *ways)
+	if err != nil {
+		fatal(err)
+	}
+
+	cl := cache.NewClassifier(geom)
+	tr := rcd.NewCP(geom.Sets)
+	var count trace.Counter
+	var sink trace.Sink = trace.SinkFunc(func(r trace.Ref) {
+		count.Ref(r)
+		if cl.Access(r.Addr) != cache.Hit {
+			tr.Observe(geom.Set(r.Addr))
+		}
+	})
+
+	var dumpFile *os.File
+	if *dump != "" {
+		dumpFile, err = os.Create(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		var tw interface {
+			trace.Sink
+			Close() error
+		}
+		if *compress {
+			tw = trace.NewCompressedWriter(dumpFile)
+		} else {
+			tw = trace.NewWriter(dumpFile)
+		}
+		defer func() {
+			if err := tw.Close(); err != nil {
+				fatal(err)
+			}
+			if err := dumpFile.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		sink = trace.Tee(sink, tw)
+	}
+
+	switch {
+	case *traceIn != "":
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if _, err := trace.ReadAny(f, sink); err != nil {
+			fatal(err)
+		}
+	case *workload != "":
+		cs, err := ccprof.Workload(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		p := cs.Original
+		if *variant == "optimized" {
+			p = cs.Optimized
+		}
+		p.Run(sink)
+	default:
+		fmt.Fprintln(os.Stderr, "ccsim: need -trace FILE or -workload NAME")
+		flag.Usage()
+		os.Exit(2)
+	}
+	tr.Flush()
+
+	c := cl.Cache
+	fmt.Printf("cache: %v\n", geom)
+	fmt.Printf("refs: %d (%d reads, %d writes)\n", count.Total(), count.Reads, count.Writes)
+	fmt.Printf("accesses: %d  hits: %d  misses: %d  miss ratio: %.4f\n",
+		c.Accesses(), c.Hits, c.Misses, c.MissRatio())
+	fmt.Printf("miss classes: cold=%d capacity=%d conflict=%d (conflict share %.1f%%)\n",
+		cl.Counts[cache.Cold], cl.Counts[cache.Capacity], cl.Counts[cache.Conflict],
+		100*cl.ConflictRatio())
+	fmt.Printf("sets used: %d/%d  imbalance (max/mean): %.2f\n",
+		c.SetsUsed(), geom.Sets, tr.RCD().Imbalance())
+	fmt.Printf("exact RCD cf(T=%d): %s  mean conflict period: %.1f\n",
+		rcd.DefaultThreshold, report.Pct(tr.RCD().ContributionFactor(rcd.DefaultThreshold)), tr.MeanPeriod())
+
+	// Victim sets by miss count.
+	type sv struct {
+		set    int
+		misses uint64
+	}
+	var victims []sv
+	for s, m := range c.SetMisses {
+		victims = append(victims, sv{s, m})
+	}
+	for i := 0; i < len(victims); i++ {
+		for j := i + 1; j < len(victims); j++ {
+			if victims[j].misses > victims[i].misses {
+				victims[i], victims[j] = victims[j], victims[i]
+			}
+		}
+	}
+	if *top > len(victims) {
+		*top = len(victims)
+	}
+	t := report.NewTable("\nhottest cache sets", "set", "misses", "share")
+	for _, v := range victims[:*top] {
+		share := 0.0
+		if c.Misses > 0 {
+			share = float64(v.misses) / float64(c.Misses)
+		}
+		t.Row(v.set, v.misses, report.Pct(share))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// Command cctrace inspects and converts CCProf reference traces.
+//
+// Usage:
+//
+//	cctrace -stats FILE              # summarize a trace (either format)
+//	cctrace -in FILE -out FILE       # convert; -compress picks the format
+//	cctrace -head N -stats FILE      # only the first N references
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		statsIn  = flag.String("stats", "", "print summary statistics of this trace")
+		in       = flag.String("in", "", "convert: input trace")
+		out      = flag.String("out", "", "convert: output trace")
+		compress = flag.Bool("compress", false, "convert: write the compressed format")
+		head     = flag.Uint64("head", 0, "process only the first N references (0 = all)")
+	)
+	flag.Parse()
+
+	switch {
+	case *statsIn != "":
+		if err := printStats(*statsIn, *head); err != nil {
+			fatal(err)
+		}
+	case *in != "" && *out != "":
+		if err := convert(*in, *out, *compress, *head); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printStats(path string, head uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	geom := mem.L1Default()
+	var count trace.Counter
+	ips := map[uint64]uint64{}
+	sets := make([]uint64, geom.Sets)
+	var minAddr, maxAddr uint64 = ^uint64(0), 0
+
+	var sink trace.Sink = trace.SinkFunc(func(r trace.Ref) {
+		count.Ref(r)
+		ips[r.IP]++
+		sets[geom.Set(r.Addr)]++
+		if r.Addr < minAddr {
+			minAddr = r.Addr
+		}
+		if r.Addr > maxAddr {
+			maxAddr = r.Addr
+		}
+	})
+	if head > 0 {
+		sink = &trace.Limit{N: head, Next: sink}
+	}
+	n, err := trace.ReadAny(f, sink)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("references: %d (%d reads, %d writes)\n", n, count.Reads, count.Writes)
+	if count.Total() == 0 {
+		return nil
+	}
+	fmt.Printf("distinct IPs: %d\n", len(ips))
+	fmt.Printf("address range: [%#x, %#x] (%d bytes)\n", minAddr, maxAddr, maxAddr-minAddr+1)
+	var used int
+	var maxSet uint64
+	for _, c := range sets {
+		if c > 0 {
+			used++
+		}
+		if c > maxSet {
+			maxSet = c
+		}
+	}
+	fmt.Printf("L1 sets touched (64-set view): %d/64, busiest share %.1f%%\n",
+		used, 100*float64(maxSet)/float64(count.Total()))
+	return nil
+}
+
+func convert(inPath, outPath string, compress bool, head uint64) error {
+	fin, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer fin.Close()
+	fout, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	var w interface {
+		trace.Sink
+		Close() error
+	}
+	if compress {
+		w = trace.NewCompressedWriter(fout)
+	} else {
+		w = trace.NewWriter(fout)
+	}
+	var sink trace.Sink = w
+	if head > 0 {
+		sink = &trace.Limit{N: head, Next: w}
+	}
+	n, err := trace.ReadAny(fin, sink)
+	if err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := fout.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %d references -> %s (%d bytes)\n", n, outPath, st.Size())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cctrace:", err)
+	os.Exit(1)
+}

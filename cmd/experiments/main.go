@@ -1,0 +1,85 @@
+// Command experiments regenerates the paper's tables and figures — the Go
+// equivalent of the artifact's reproduce_result.sh.
+//
+// Usage:
+//
+//	experiments                 # run everything at full scale
+//	experiments -run fig8       # one experiment
+//	experiments -quick          # shrunken workloads, seconds instead of minutes
+//	experiments -out DIR        # write one artifact file per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "run only this experiment (see -list)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		quick = flag.Bool("quick", false, "use shrunken workloads")
+		out   = flag.String("out", "", "write per-experiment artifact files to this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	reg := experiments.Registry()
+	names := experiments.Names()
+	if *run != "" {
+		if _, ok := reg[*run]; !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (available: %v)\n", *run, names)
+			os.Exit(2)
+		}
+		names = []string{*run}
+	}
+
+	for _, name := range names {
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+			var err error
+			f, err = os.Create(filepath.Join(*out, name+".txt"))
+			if err != nil {
+				fatal(err)
+			}
+			w = f
+			fmt.Printf("running %s -> %s\n", name, f.Name())
+		} else {
+			fmt.Printf("================ %s ================\n", name)
+		}
+		if err := reg[name](w, scale); err != nil {
+			fatal(err)
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Data-centric attribution on PolyBench ADI (§6.2): map sampled conflict
+// misses back to the allocations they fall in, identify the victim matrix,
+// and show the per-set miss concentration that padding disperses.
+//
+// Run with: go run ./examples/datacentric-adi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/pmu"
+	"repro/internal/rcd"
+	"repro/internal/trace"
+)
+
+func main() {
+	cs, err := ccprof.Workload("adi")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sampled view (what CCProf sees in production).
+	an, err := ccprof.ProfileAndAnalyze(cs.Original,
+		ccprof.ProfileOptions{Period: pmu.Uniform(cs.ProfilePeriod), Seed: 1, NoTime: true},
+		ccprof.AnalyzeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== sampled data-centric attribution (ADI, original) ===")
+	for _, d := range an.Data {
+		fmt.Printf("  %-4s %6d samples (%5.1f%%), %6d with short RCD\n",
+			d.Name, d.Samples, 100*d.Contribution, d.ShortRCD)
+	}
+	fmt.Println("\nAll three matrices share the power-of-two row layout, so the")
+	fmt.Println("column sweep conflicts on each of them; the paper pads u (and")
+	fmt.Println("we pad all rows) by 32 bytes.")
+
+	// Ground-truth view: exact simulation. Over the whole run the victim
+	// set rotates with the column index, so the *global* set histogram
+	// looks balanced — exactly the temporal blindness (§3.2, Figure 4)
+	// that motivates RCD. A short window exposes the concentration.
+	fmt.Println("\n=== exact simulation (ground truth) ===")
+	geom := mem.L1Default()
+	window := func(p *ccprof.Program) (setsInWindow int, cf float64, uShare float64) {
+		l1 := cache.New(geom, cache.LRU, nil)
+		tr := rcd.New(geom.Sets)
+		win := rcd.New(geom.Sets)
+		var misses, uMisses uint64
+		p.Run(trace.SinkFunc(func(r trace.Ref) {
+			if l1.Access(r.Addr).Hit {
+				return
+			}
+			misses++
+			tr.Observe(geom.Set(r.Addr))
+			// A 2000-miss window in the middle of the first
+			// timestep's column sweep.
+			if misses > 400_000 && misses <= 402_000 {
+				win.Observe(geom.Set(r.Addr))
+			}
+			if blk, ok := p.Arena.Find(r.Addr); ok && blk.Name == "u" {
+				uMisses++
+			}
+		}))
+		return win.SetsUsed(), tr.ContributionFactor(rcd.DefaultThreshold),
+			float64(uMisses) / float64(misses)
+	}
+
+	setsO, cfO, uShare := window(cs.Original)
+	fmt.Printf("original: matrix u takes %.1f%% of L1 misses;\n", 100*uShare)
+	fmt.Printf("  a 2000-miss window during the column sweep touches %d/64 sets\n", setsO)
+	fmt.Printf("  exact cf(T=%d) = %.1f%%\n", rcd.DefaultThreshold, 100*cfO)
+
+	setsP, cfP, _ := window(cs.Optimized)
+	fmt.Printf("padded:   the same window touches %d/64 sets, exact cf = %.1f%%\n", setsP, 100*cfP)
+	fmt.Println("\nNote the exact cf stays elevated after padding: the padded column")
+	fmt.Println("sweep still misses in short bursts per set (streaming), which full-")
+	fmt.Println("sequence RCD counts as short distances. The *sampled* view above —")
+	fmt.Println("what CCProf actually measures — discriminates correctly, because at")
+	fmt.Println("the sampling period only persistent set concentration survives.")
+}

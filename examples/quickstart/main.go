@@ -1,0 +1,50 @@
+// Quickstart: profile the symmetrization kernel from §2.1 of the paper,
+// detect its conflict misses, and confirm that the 64-byte row pad removes
+// them.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/pmu"
+)
+
+func main() {
+	cs, err := ccprof.Workload("symmetrization")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s — %s\n\n", cs.Name, cs.Desc)
+
+	for _, prog := range []*ccprof.Program{cs.Original, cs.Optimized} {
+		// Online phase: run under the simulated PMU, sampling L1-miss
+		// addresses at the period this case study needs.
+		prof, err := ccprof.ProfileProgram(prog, ccprof.ProfileOptions{
+			Period: pmu.Uniform(cs.ProfilePeriod),
+			Seed:   1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Offline phase: recover loops from the binary, approximate RCD
+		// distributions, classify, attribute.
+		an, err := ccprof.Analyze(prof, prog.Binary, prog.Arena, ccprof.AnalyzeOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ccprof.WriteReport(os.Stdout, an); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The original variant concentrates L1 misses on a few cache sets")
+	fmt.Println("(short re-conflict distances); after padding each row by one cache")
+	fmt.Println("line, misses spread across all 64 sets and the verdict flips.")
+}

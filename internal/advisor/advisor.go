@@ -1,0 +1,168 @@
+// Package advisor automates the optimization step the paper performs by
+// hand: once CCProf names a loop and a data structure, the developer tries
+// row pads until the conflicts disappear (§6 pads 32, 64, 288 bytes, or 8
+// elements, per case). The advisor searches that space mechanically: given
+// a way to rebuild the kernel at any candidate pad, it scores each
+// candidate on a fast exact L1 simulation and recommends the cheapest pad
+// that removes the conflict signature.
+package advisor
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/rcd"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Candidate is one evaluated pad size. Candidates are scored on Cycles — a
+// latency-weighted L1+L2 simulation — because padding fixes often pay off
+// below L1 (ADI's fix leaves L1 misses unchanged and removes L2 misses).
+type Candidate struct {
+	Pad      uint64
+	Misses   uint64  // exact L1 misses
+	L2Misses uint64  // exact L2 misses
+	Cycles   uint64  // latency-weighted cost of the simulated run
+	CF       float64 // exact short-RCD contribution factor at L1
+}
+
+// Result is the advisor's recommendation.
+type Result struct {
+	// Best is the recommended candidate: the smallest pad whose miss
+	// count is within Tolerance of the global minimum (smaller pads
+	// waste less memory).
+	Best Candidate
+	// Baseline is the pad-0 candidate, for comparison.
+	Baseline Candidate
+	// Candidates lists every evaluated pad in evaluation order.
+	Candidates []Candidate
+}
+
+// Improvement returns the cycle reduction of Best over Baseline, in [0, 1].
+func (r Result) Improvement() float64 {
+	if r.Baseline.Cycles == 0 {
+		return 0
+	}
+	return 1 - float64(r.Best.Cycles)/float64(r.Baseline.Cycles)
+}
+
+// Options configures the search.
+type Options struct {
+	Geom mem.Geometry // zero selects mem.L1Default()
+	// Pads are the candidate pad sizes; nil selects DefaultPads.
+	Pads []uint64
+	// Tolerance is the relative slack for "as good as the best" when
+	// preferring smaller pads; 0 selects 0.02 (2%).
+	Tolerance float64
+	// MaxRefs caps the simulated references per candidate (0 = all).
+	MaxRefs uint64
+}
+
+// DefaultPads covers the pad sizes the paper's case studies use (32, 64,
+// 128, 288) plus neighbours.
+var DefaultPads = []uint64{0, 8, 16, 32, 64, 96, 128, 192, 256, 288}
+
+// RecommendPad evaluates build(pad) for every candidate pad and returns
+// the recommendation. build must return a freshly built kernel whose
+// relevant rows are padded by the given byte count.
+func RecommendPad(build func(pad uint64) *workloads.Program, opts Options) (Result, error) {
+	if build == nil {
+		return Result{}, fmt.Errorf("advisor: nil build function")
+	}
+	geom := opts.Geom
+	if geom.Sets == 0 {
+		geom = mem.L1Default()
+	}
+	pads := opts.Pads
+	if pads == nil {
+		pads = DefaultPads
+	}
+	if len(pads) == 0 {
+		return Result{}, fmt.Errorf("advisor: no candidate pads")
+	}
+	tol := opts.Tolerance
+	if tol == 0 {
+		tol = 0.02
+	}
+
+	var res Result
+	seen := map[uint64]bool{}
+	haveBaseline := false
+	for _, pad := range pads {
+		if seen[pad] {
+			continue
+		}
+		seen[pad] = true
+		p := build(pad)
+		if p == nil {
+			return Result{}, fmt.Errorf("advisor: build(%d) returned nil", pad)
+		}
+		c := evaluate(p, geom, opts.MaxRefs)
+		c.Pad = pad
+		res.Candidates = append(res.Candidates, c)
+		if pad == 0 {
+			res.Baseline = c
+			haveBaseline = true
+		}
+	}
+	if !haveBaseline {
+		res.Baseline = res.Candidates[0]
+	}
+
+	// The recommendation: smallest pad within tolerance of the minimum
+	// cycle cost (smaller pads waste less memory).
+	min := res.Candidates[0].Cycles
+	for _, c := range res.Candidates {
+		if c.Cycles < min {
+			min = c.Cycles
+		}
+	}
+	limit := uint64(float64(min) * (1 + tol))
+	best := res.Candidates[0]
+	found := false
+	for _, c := range res.Candidates {
+		if c.Cycles > limit {
+			continue
+		}
+		if !found || c.Pad < best.Pad {
+			best = c
+			found = true
+		}
+	}
+	res.Best = best
+	return res, nil
+}
+
+func evaluate(p *workloads.Program, geom mem.Geometry, maxRefs uint64) Candidate {
+	// Two-level simulation: the configured L1 backed by a 256KiB L2 (the
+	// private L2 of the evaluated machines), costed with the Broadwell
+	// latency table.
+	l1 := cache.New(geom, cache.LRU, nil)
+	l2 := cache.New(mem.MustGeometry(geom.LineSize, 512, 8), cache.LRU, nil)
+	lat := mem.Broadwell().Lat
+	tr := rcd.New(geom.Sets)
+	var c Candidate
+	var n uint64
+	p.Run(trace.SinkFunc(func(r trace.Ref) {
+		if maxRefs > 0 && n >= maxRefs {
+			return
+		}
+		n++
+		if l1.Access(r.Addr).Hit {
+			c.Cycles += uint64(lat.L1Hit)
+			return
+		}
+		tr.Observe(geom.Set(r.Addr))
+		if l2.Access(r.Addr).Hit {
+			c.Cycles += uint64(lat.L2Hit)
+			return
+		}
+		c.Cycles += uint64(lat.Memory)
+	}))
+	c.Misses = l1.Misses
+	c.L2Misses = l2.Misses
+	c.CF = tr.ContributionFactor(rcd.DefaultThreshold)
+	return c
+}

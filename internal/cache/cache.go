@@ -1,0 +1,196 @@
+// Package cache is a trace-driven set-associative cache simulator.
+//
+// It plays the role Dinero IV plays in the paper: given the exact memory
+// reference stream of a kernel, it produces the exact miss sequence (with
+// per-set attribution) that grounds the RCD metric, classifies misses into
+// cold/capacity/conflict, and models multi-level hierarchies (private
+// L1/L2 per core, shared LLC) for the cache-miss-reduction and speedup
+// experiments.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mem"
+)
+
+// Policy selects the replacement policy of a cache.
+type Policy uint8
+
+// Replacement policies. LRU is the default and what the paper's analysis
+// assumes; FIFO and Random exist for the ablation study.
+const (
+	LRU Policy = iota
+	FIFO
+	Random
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	stamp uint64 // LRU: last-use time; FIFO: insertion time
+}
+
+// Cache simulates one level of a set-associative cache.
+type Cache struct {
+	Geom   mem.Geometry
+	policy Policy
+	rng    *rand.Rand
+
+	sets  []way // Sets*Ways entries, set-major
+	clock uint64
+
+	// Statistics, exported for cheap access.
+	Hits      uint64
+	Misses    uint64
+	SetMisses []uint64 // per-set miss counts (Figure 3-b histogram)
+	SetHits   []uint64
+}
+
+// New returns an empty cache with the given geometry and policy. The rng is
+// only used by the Random policy; pass nil otherwise (a deterministic
+// source is created if Random is selected with a nil rng).
+func New(g mem.Geometry, p Policy, rng *rand.Rand) *Cache {
+	if p == Random && rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Cache{
+		Geom:      g,
+		policy:    p,
+		rng:       rng,
+		sets:      make([]way, g.Sets*g.Ways),
+		SetMisses: make([]uint64, g.Sets),
+		SetHits:   make([]uint64, g.Sets),
+	}
+}
+
+// Result describes the outcome of one cache access.
+type Result struct {
+	Hit     bool
+	Set     int    // set index of the access
+	Evicted bool   // whether a valid line was evicted
+	Victim  uint64 // line address of the evicted line, if Evicted
+}
+
+// Access simulates a reference to addr and returns the outcome. Loads and
+// stores are treated alike (allocate-on-miss, no write-back traffic), which
+// matches the paper's use of Dinero for miss-sequence extraction.
+func (c *Cache) Access(addr uint64) Result {
+	c.clock++
+	set := c.Geom.Set(addr)
+	tag := c.Geom.Tag(addr)
+	ways := c.sets[set*c.Geom.Ways : (set+1)*c.Geom.Ways]
+
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.Hits++
+			c.SetHits[set]++
+			if c.policy == LRU {
+				ways[i].stamp = c.clock
+			}
+			return Result{Hit: true, Set: set}
+		}
+	}
+
+	c.Misses++
+	c.SetMisses[set]++
+
+	victim := 0
+	switch {
+	case c.policy == Random:
+		// Prefer an invalid way; otherwise evict a random way.
+		victim = -1
+		for i := range ways {
+			if !ways[i].valid {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			victim = c.rng.Intn(len(ways))
+		}
+	default: // LRU and FIFO: evict the way with the smallest stamp;
+		// invalid ways have stamp 0 and are naturally chosen first.
+		for i := 1; i < len(ways); i++ {
+			if !ways[i].valid {
+				victim = i
+				break
+			}
+			if ways[i].stamp < ways[victim].stamp {
+				victim = i
+			}
+		}
+	}
+
+	res := Result{Set: set}
+	if ways[victim].valid {
+		res.Evicted = true
+		res.Victim = c.Geom.Compose(ways[victim].tag, set, 0)
+	}
+	ways[victim] = way{tag: tag, valid: true, stamp: c.clock}
+	return res
+}
+
+// Contains reports whether the line holding addr is currently resident.
+// It does not update replacement state.
+func (c *Cache) Contains(addr uint64) bool {
+	set := c.Geom.Set(addr)
+	tag := c.Geom.Tag(addr)
+	ways := c.sets[set*c.Geom.Ways : (set+1)*c.Geom.Ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Accesses returns the total number of accesses simulated.
+func (c *Cache) Accesses() uint64 { return c.Hits + c.Misses }
+
+// MissRatio returns Misses/Accesses, or 0 before any access.
+func (c *Cache) MissRatio() float64 {
+	if n := c.Accesses(); n > 0 {
+		return float64(c.Misses) / float64(n)
+	}
+	return 0
+}
+
+// SetsUsed returns how many distinct sets have received at least one miss —
+// the "# of Cache Sets utilized" column of Table 4.
+func (c *Cache) SetsUsed() int {
+	n := 0
+	for _, m := range c.SetMisses {
+		if m > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset empties the cache and clears all statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = way{}
+	}
+	c.clock = 0
+	c.Hits, c.Misses = 0, 0
+	for i := range c.SetMisses {
+		c.SetMisses[i] = 0
+		c.SetHits[i] = 0
+	}
+}

@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// MissKind classifies a cache access per the classical three-C model the
+// paper opens with (cold, capacity, conflict).
+type MissKind uint8
+
+// Access outcomes for the classifying simulator.
+const (
+	Hit MissKind = iota
+	Cold
+	Capacity
+	Conflict
+)
+
+func (k MissKind) String() string {
+	switch k {
+	case Hit:
+		return "hit"
+	case Cold:
+		return "cold"
+	case Capacity:
+		return "capacity"
+	case Conflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("MissKind(%d)", uint8(k))
+	}
+}
+
+// faLRU is a fully-associative LRU cache of fixed line capacity, used as the
+// classification shadow: a miss in the real (set-associative) cache that
+// *would have hit* in an equal-capacity fully-associative cache is a
+// conflict miss; one that also misses there is a capacity miss.
+type faLRU struct {
+	cap   int
+	nodes map[uint64]*faNode
+	head  *faNode // most recent
+	tail  *faNode // least recent
+}
+
+type faNode struct {
+	line       uint64
+	prev, next *faNode
+}
+
+func newFALRU(capacity int) *faLRU {
+	return &faLRU{cap: capacity, nodes: make(map[uint64]*faNode, capacity)}
+}
+
+func (f *faLRU) unlink(n *faNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		f.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		f.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (f *faLRU) pushFront(n *faNode) {
+	n.next = f.head
+	if f.head != nil {
+		f.head.prev = n
+	}
+	f.head = n
+	if f.tail == nil {
+		f.tail = n
+	}
+}
+
+// access touches line and reports whether it was resident.
+func (f *faLRU) access(line uint64) bool {
+	if n, ok := f.nodes[line]; ok {
+		f.unlink(n)
+		f.pushFront(n)
+		return true
+	}
+	n := &faNode{line: line}
+	f.nodes[line] = n
+	f.pushFront(n)
+	if len(f.nodes) > f.cap {
+		evict := f.tail
+		f.unlink(evict)
+		delete(f.nodes, evict.line)
+	}
+	return false
+}
+
+// Classifier wraps a set-associative cache and labels each access with its
+// miss kind. It maintains a seen-lines set (for cold misses) and an
+// equal-capacity fully-associative LRU shadow (to separate conflict from
+// capacity misses).
+type Classifier struct {
+	Cache  *Cache
+	shadow *faLRU
+	seen   map[uint64]struct{}
+
+	// Per-kind counters.
+	Counts [4]uint64
+}
+
+// NewClassifier returns a classifying simulator over a fresh LRU cache with
+// geometry g.
+func NewClassifier(g mem.Geometry) *Classifier {
+	return &Classifier{
+		Cache:  New(g, LRU, nil),
+		shadow: newFALRU(g.Sets * g.Ways),
+		seen:   make(map[uint64]struct{}),
+	}
+}
+
+// Access simulates a reference and returns its classification.
+func (cl *Classifier) Access(addr uint64) MissKind {
+	line := cl.Cache.Geom.Line(addr)
+	res := cl.Cache.Access(addr)
+	shadowHit := cl.shadow.access(line)
+	_, known := cl.seen[line]
+	if !known {
+		cl.seen[line] = struct{}{}
+	}
+
+	var k MissKind
+	switch {
+	case res.Hit:
+		k = Hit
+	case !known:
+		k = Cold
+	case shadowHit:
+		k = Conflict
+	default:
+		k = Capacity
+	}
+	cl.Counts[k]++
+	return k
+}
+
+// ConflictRatio returns the fraction of misses that are conflict misses.
+func (cl *Classifier) ConflictRatio() float64 {
+	misses := cl.Counts[Cold] + cl.Counts[Capacity] + cl.Counts[Conflict]
+	if misses == 0 {
+		return 0
+	}
+	return float64(cl.Counts[Conflict]) / float64(misses)
+}

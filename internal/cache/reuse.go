@@ -1,0 +1,72 @@
+package cache
+
+import "repro/internal/mem"
+
+// InfiniteReuse marks the first-ever access to a line in a reuse-distance
+// profile (no previous use exists).
+const InfiniteReuse = -1
+
+// ReuseTracker computes exact reuse distances: for each access, the number
+// of *distinct* cache lines referenced since the previous access to the
+// same line. Reuse distance models capacity misses (a reuse distance larger
+// than the cache's line capacity misses in a fully-associative LRU cache),
+// which is the baseline capacity analysis the paper contrasts RCD with.
+//
+// The implementation is the classical Bennett–Kruskal algorithm: a Fenwick
+// tree over access timestamps holding a 1 at the timestamp of each line's
+// most recent access.
+type ReuseTracker struct {
+	geom mem.Geometry
+	last map[uint64]int // line -> timestamp of most recent access
+	bit  []int          // Fenwick tree, 1-indexed
+	time int
+}
+
+// NewReuseTracker returns a tracker for lines of geometry g.
+func NewReuseTracker(g mem.Geometry) *ReuseTracker {
+	return &ReuseTracker{geom: g, last: make(map[uint64]int), bit: make([]int, 1)}
+}
+
+func (rt *ReuseTracker) add(i, delta int) {
+	for ; i < len(rt.bit); i += i & (-i) {
+		rt.bit[i] += delta
+	}
+}
+
+func (rt *ReuseTracker) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += rt.bit[i]
+	}
+	return s
+}
+
+// Access records a reference to addr and returns its reuse distance, or
+// InfiniteReuse on first use of the line.
+func (rt *ReuseTracker) Access(addr uint64) int {
+	line := rt.geom.LineNumber(addr)
+	rt.time++
+	// Grow the Fenwick tree by doubling. New internal nodes must absorb
+	// the prefix contributions of live positions, so rebuild from rt.last
+	// (amortized O(log n) per access).
+	if rt.time >= len(rt.bit) {
+		size := len(rt.bit) * 2
+		for rt.time >= size {
+			size *= 2
+		}
+		rt.bit = make([]int, size)
+		for _, t := range rt.last {
+			rt.add(t, 1)
+		}
+	}
+
+	dist := InfiniteReuse
+	if t0, ok := rt.last[line]; ok {
+		// Distinct lines touched strictly after t0 and before now.
+		dist = rt.sum(rt.time-1) - rt.sum(t0)
+		rt.add(t0, -1)
+	}
+	rt.last[line] = rt.time
+	rt.add(rt.time, 1)
+	return dist
+}

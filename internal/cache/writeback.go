@@ -1,0 +1,109 @@
+package cache
+
+// Write-back and prefetch extensions. The base simulator treats loads and
+// stores alike (allocate-on-miss), which is all the RCD analyses need; the
+// extensions here let the hierarchy experiments account for dirty-eviction
+// traffic and test whether a simple next-line prefetcher masks conflict
+// signatures (it does not — prefetching helps streams, and conflicts evict
+// prefetched lines like any others).
+
+// WritebackCache decorates a Cache with per-line dirty state and a
+// write-back counter, modelling a write-back write-allocate cache.
+type WritebackCache struct {
+	*Cache
+	dirty map[uint64]bool // line address -> dirty
+
+	// Writebacks counts dirty lines evicted (the traffic a write-back
+	// cache sends downstream).
+	Writebacks uint64
+}
+
+// NewWriteback wraps an existing cache. The wrapped cache must be driven
+// exclusively through the wrapper.
+func NewWriteback(c *Cache) *WritebackCache {
+	return &WritebackCache{Cache: c, dirty: make(map[uint64]bool)}
+}
+
+// AccessRW simulates a reference, marking the line dirty on writes and
+// counting write-backs of evicted dirty lines.
+func (w *WritebackCache) AccessRW(addr uint64, write bool) Result {
+	line := w.Geom.Line(addr)
+	res := w.Cache.Access(addr)
+	if res.Evicted {
+		victim := w.Geom.Line(res.Victim)
+		if w.dirty[victim] {
+			w.Writebacks++
+			delete(w.dirty, victim)
+		}
+	}
+	if write {
+		w.dirty[line] = true
+	}
+	return res
+}
+
+// FlushDirty counts (and clears) all remaining dirty lines, as a final
+// cache flush would.
+func (w *WritebackCache) FlushDirty() uint64 {
+	n := uint64(len(w.dirty))
+	w.Writebacks += n
+	w.dirty = make(map[uint64]bool)
+	return n
+}
+
+// PrefetchCache decorates a Cache with a next-line prefetcher: every
+// demand miss also installs the sequentially next line (if absent),
+// without counting it as a demand access.
+type PrefetchCache struct {
+	*Cache
+
+	// Prefetches counts issued prefetch fills; PrefetchHits counts
+	// demand accesses that hit a line brought in by a prefetch.
+	Prefetches   uint64
+	PrefetchHits uint64
+
+	prefetched map[uint64]bool // lines resident due to prefetch, not yet demanded
+}
+
+// NewPrefetch wraps an existing cache. The wrapped cache must be driven
+// exclusively through the wrapper.
+func NewPrefetch(c *Cache) *PrefetchCache {
+	return &PrefetchCache{Cache: c, prefetched: make(map[uint64]bool)}
+}
+
+// Access simulates a demand reference with next-line prefetching.
+func (p *PrefetchCache) Access(addr uint64) Result {
+	line := p.Geom.Line(addr)
+	res := p.Cache.Access(addr)
+	if p.prefetched[line] {
+		delete(p.prefetched, line)
+		if res.Hit {
+			p.PrefetchHits++
+		}
+	}
+	if res.Hit {
+		return res
+	}
+	// Demand miss: prefetch the next line if it is not already resident.
+	next := line + uint64(p.Geom.LineSize)
+	if !p.Cache.Contains(next) {
+		p.Prefetches++
+		pres := p.Cache.Access(next)
+		// The prefetch fill must not perturb demand statistics.
+		p.Cache.Misses--
+		p.Cache.SetMisses[pres.Set]--
+		if evicted := p.Geom.Line(pres.Victim); pres.Evicted && p.prefetched[evicted] {
+			delete(p.prefetched, evicted)
+		}
+		p.prefetched[next] = true
+	}
+	return res
+}
+
+// Accuracy returns PrefetchHits/Prefetches, or 0 before any prefetch.
+func (p *PrefetchCache) Accuracy() float64 {
+	if p.Prefetches == 0 {
+		return 0
+	}
+	return float64(p.PrefetchHits) / float64(p.Prefetches)
+}

@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestWritebackCountsDirtyEvictions(t *testing.T) {
+	w := NewWriteback(New(mem.MustGeometry(64, 1, 2), LRU, nil)) // 2-line cache
+	g := w.Geom
+	a, b, c := lineAddr(g, 1, 0), lineAddr(g, 2, 0), lineAddr(g, 3, 0)
+
+	w.AccessRW(a, true)  // a dirty
+	w.AccessRW(b, false) // b clean
+	w.AccessRW(c, false) // evicts a (dirty) -> writeback
+	if w.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", w.Writebacks)
+	}
+	w.AccessRW(a, false) // evicts b (clean) -> no writeback
+	if w.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want still 1", w.Writebacks)
+	}
+}
+
+func TestWritebackRedirtying(t *testing.T) {
+	w := NewWriteback(New(mem.MustGeometry(64, 1, 2), LRU, nil))
+	g := w.Geom
+	a := lineAddr(g, 1, 0)
+	w.AccessRW(a, true)
+	w.AccessRW(a, true) // writing twice keeps one dirty line
+	if got := w.FlushDirty(); got != 1 {
+		t.Errorf("FlushDirty = %d, want 1", got)
+	}
+	if w.FlushDirty() != 0 {
+		t.Error("second flush should find nothing")
+	}
+}
+
+func TestWritebackReadOnlyNeverWritesBack(t *testing.T) {
+	w := NewWriteback(New(mem.MustGeometry(64, 2, 2), LRU, nil))
+	for i := uint64(0); i < 100; i++ {
+		w.AccessRW(i*64, false)
+	}
+	if w.Writebacks != 0 || w.FlushDirty() != 0 {
+		t.Error("read-only stream produced writebacks")
+	}
+}
+
+func TestPrefetchStreamBenefits(t *testing.T) {
+	p := NewPrefetch(New(mem.L1Default(), LRU, nil))
+	// Sequential stream: every miss prefetches the next line, which the
+	// stream then demands — accuracy ~1, demand misses roughly halved.
+	for i := uint64(0); i < 1000; i++ {
+		p.Access(i * 64)
+	}
+	if p.Accuracy() < 0.95 {
+		t.Errorf("prefetch accuracy = %.2f on a pure stream, want ~1", p.Accuracy())
+	}
+	if p.Misses > 510 {
+		t.Errorf("demand misses = %d, want ~500 with next-line prefetch", p.Misses)
+	}
+
+	base := New(mem.L1Default(), LRU, nil)
+	for i := uint64(0); i < 1000; i++ {
+		base.Access(i * 64)
+	}
+	if p.Misses >= base.Misses {
+		t.Errorf("prefetch did not reduce stream misses: %d vs %d", p.Misses, base.Misses)
+	}
+}
+
+func TestPrefetchDoesNotMaskConflicts(t *testing.T) {
+	// Column-walk conflict: lines 4096B apart all in set 0. The next-line
+	// prefetches land in set 1 and never help; the conflict set still
+	// thrashes.
+	run := func(withPrefetch bool) uint64 {
+		base := New(mem.L1Default(), LRU, nil)
+		var access func(uint64) Result
+		if withPrefetch {
+			p := NewPrefetch(base)
+			access = p.Access
+		} else {
+			access = base.Access
+		}
+		for rep := 0; rep < 10; rep++ {
+			for row := uint64(0); row < 64; row++ {
+				access(row * 4096)
+			}
+		}
+		return base.Misses
+	}
+	plain, pref := run(false), run(true)
+	if pref < plain {
+		t.Errorf("prefetching reduced conflict misses (%d -> %d); it should not", plain, pref)
+	}
+}
+
+func TestPrefetchStatsSeparation(t *testing.T) {
+	p := NewPrefetch(New(mem.MustGeometry(64, 4, 2), LRU, nil))
+	p.Access(0) // miss + prefetch of line 1
+	if p.Misses != 1 {
+		t.Errorf("demand misses = %d, want 1 (prefetch fill must not count)", p.Misses)
+	}
+	if p.Prefetches != 1 {
+		t.Errorf("prefetches = %d, want 1", p.Prefetches)
+	}
+	r := p.Access(64) // the prefetched line: demand hit
+	if !r.Hit {
+		t.Fatal("prefetched line should hit")
+	}
+	if p.PrefetchHits != 1 {
+		t.Errorf("prefetch hits = %d, want 1", p.PrefetchHits)
+	}
+	if p.Accuracy() != 1 {
+		t.Errorf("accuracy = %g", p.Accuracy())
+	}
+}
+
+func TestPrefetchAccuracyZeroWhenUseless(t *testing.T) {
+	p := NewPrefetch(New(mem.MustGeometry(64, 4, 2), LRU, nil))
+	if p.Accuracy() != 0 {
+		t.Error("accuracy before any prefetch should be 0")
+	}
+	// Large-stride walk: prefetched lines never demanded.
+	for i := uint64(0); i < 50; i++ {
+		p.Access(i * 8192)
+	}
+	if p.Accuracy() != 0 {
+		t.Errorf("accuracy = %.2f for a stride that defeats next-line prefetch", p.Accuracy())
+	}
+}
+
+func TestPrefetchSetMissesConsistent(t *testing.T) {
+	p := NewPrefetch(New(mem.MustGeometry(64, 4, 2), LRU, nil))
+	for i := uint64(0); i < 200; i++ {
+		p.Access(i * 64)
+	}
+	var sum uint64
+	for _, m := range p.SetMisses {
+		sum += m
+	}
+	if sum != p.Misses {
+		t.Errorf("per-set misses sum %d != total demand misses %d", sum, p.Misses)
+	}
+}

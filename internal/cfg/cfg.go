@@ -1,0 +1,168 @@
+// Package cfg recovers control-flow structure from a synthetic binary.
+//
+// CCProf's offline analyzer "retrieves the control flow graph (CFG) of the
+// target application from the machine code and uses interval analysis to
+// identify loops" (§4 of the paper, citing Havlak 1997). This package does
+// the same for objfile binaries: it partitions the instruction stream into
+// basic blocks, wires up successor edges, computes dominators, and builds a
+// Havlak-style loop-nesting forest, which the analyzer then uses to
+// attribute each sampled instruction pointer to its innermost loop.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/objfile"
+)
+
+// Block is a basic block: a maximal straight-line instruction sequence.
+type Block struct {
+	ID    int
+	Start uint64 // address of first instruction
+	End   uint64 // one past last instruction
+	Succs []int
+	Preds []int
+}
+
+// Contains reports whether addr lies within the block.
+func (b *Block) Contains(addr uint64) bool { return addr >= b.Start && addr < b.End }
+
+func (b *Block) String() string {
+	return fmt.Sprintf("B%d[%#x,%#x) -> %v", b.ID, b.Start, b.End, b.Succs)
+}
+
+// Graph is the control-flow graph of one binary. Block 0 is the entry.
+type Graph struct {
+	Bin    *objfile.Binary
+	Blocks []*Block
+
+	starts []uint64 // sorted block start addresses, parallel to Blocks order by Start
+	order  []int    // block IDs sorted by Start
+}
+
+// Build partitions bin's instructions into basic blocks and connects them.
+// It returns an error for an empty binary or a branch to a nonexistent
+// instruction.
+func Build(bin *objfile.Binary) (*Graph, error) {
+	if len(bin.Instrs) == 0 {
+		return nil, fmt.Errorf("cfg: binary %q has no instructions", bin.Name)
+	}
+	if err := bin.Validate(); err != nil {
+		return nil, fmt.Errorf("cfg: %w", err)
+	}
+
+	// Identify leaders: the first instruction, every branch target, and the
+	// instruction after any control transfer.
+	leaders := map[uint64]bool{bin.Instrs[0].Addr: true}
+	for _, in := range bin.Instrs {
+		switch in.Kind {
+		case objfile.Branch, objfile.CondBranch:
+			leaders[in.Target] = true
+			leaders[in.Addr+objfile.InstrSize] = true
+		case objfile.Ret:
+			leaders[in.Addr+objfile.InstrSize] = true
+		}
+	}
+
+	g := &Graph{Bin: bin}
+	blockAt := map[uint64]*Block{} // start address -> block
+	var cur *Block
+	for _, in := range bin.Instrs {
+		if leaders[in.Addr] || cur == nil {
+			cur = &Block{ID: len(g.Blocks), Start: in.Addr}
+			g.Blocks = append(g.Blocks, cur)
+			blockAt[in.Addr] = cur
+		}
+		cur.End = in.Addr + objfile.InstrSize
+	}
+
+	// Wire successors by inspecting each block's terminator.
+	for _, b := range g.Blocks {
+		last, ok := bin.InstrAt(b.End - objfile.InstrSize)
+		if !ok {
+			return nil, fmt.Errorf("cfg: internal error: no instruction at %#x", b.End-objfile.InstrSize)
+		}
+		addSucc := func(addr uint64) error {
+			t, ok := blockAt[addr]
+			if !ok {
+				return fmt.Errorf("cfg: control transfer from %#x to non-leader %#x", last.Addr, addr)
+			}
+			b.Succs = append(b.Succs, t.ID)
+			t.Preds = append(t.Preds, b.ID)
+			return nil
+		}
+		switch last.Kind {
+		case objfile.Branch:
+			if err := addSucc(last.Target); err != nil {
+				return nil, err
+			}
+		case objfile.CondBranch:
+			if err := addSucc(last.Target); err != nil {
+				return nil, err
+			}
+			if _, ok := blockAt[b.End]; ok {
+				if err := addSucc(b.End); err != nil {
+					return nil, err
+				}
+			}
+		case objfile.Ret:
+			// no successors
+		default:
+			if _, ok := blockAt[b.End]; ok {
+				if err := addSucc(b.End); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	g.order = make([]int, len(g.Blocks))
+	for i := range g.order {
+		g.order[i] = i
+	}
+	sort.Slice(g.order, func(i, j int) bool { return g.Blocks[g.order[i]].Start < g.Blocks[g.order[j]].Start })
+	g.starts = make([]uint64, len(g.order))
+	for i, id := range g.order {
+		g.starts[i] = g.Blocks[id].Start
+	}
+	return g, nil
+}
+
+// BlockAt returns the basic block containing addr.
+func (g *Graph) BlockAt(addr uint64) (*Block, bool) {
+	i := sort.Search(len(g.starts), func(i int) bool { return g.starts[i] > addr })
+	if i == 0 {
+		return nil, false
+	}
+	b := g.Blocks[g.order[i-1]]
+	if b.Contains(addr) {
+		return b, true
+	}
+	return nil, false
+}
+
+// Entry returns the entry block.
+func (g *Graph) Entry() *Block { return g.Blocks[0] }
+
+// ReversePostorder returns reachable block IDs in reverse postorder from the
+// entry. Unreachable blocks are omitted.
+func (g *Graph) ReversePostorder() []int {
+	seen := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(id int) {
+		seen[id] = true
+		for _, s := range g.Blocks[id].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, id)
+	}
+	dfs(0)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

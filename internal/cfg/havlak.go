@@ -1,0 +1,233 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/objfile"
+)
+
+// Loop is one loop in the nesting forest discovered by interval analysis.
+type Loop struct {
+	ID        int
+	Header    *Block
+	Parent    *Loop
+	Children  []*Loop
+	Depth     int  // 1 for top-level loops
+	Reducible bool // false for irreducible regions
+
+	// Blocks lists every block in the loop, including blocks of nested
+	// loops and the header itself.
+	Blocks []*Block
+
+	// Loc is the source location of the loop header from the line table,
+	// e.g. "needle.cpp:189" — the name CCProf reports loops by.
+	Loc objfile.SourceLoc
+}
+
+// Name returns a human-readable loop identifier: its header source location
+// when known, otherwise the header address.
+func (l *Loop) Name() string {
+	if !l.Loc.IsZero() {
+		return l.Loc.String()
+	}
+	return fmt.Sprintf("loop@%#x", l.Header.Start)
+}
+
+func (l *Loop) String() string {
+	return fmt.Sprintf("%s depth=%d blocks=%d", l.Name(), l.Depth, len(l.Blocks))
+}
+
+// Forest is the loop-nesting forest of a graph plus per-block innermost-loop
+// attribution.
+type Forest struct {
+	Loops     []*Loop // all loops, inner loops after their parents
+	Top       []*Loop // loops with no parent
+	innermost []*Loop // block ID -> innermost containing loop (nil if none)
+	graph     *Graph
+}
+
+// InnermostAt returns the innermost loop containing the instruction at addr,
+// or nil when addr is not inside any loop (or unknown).
+func (f *Forest) InnermostAt(addr uint64) *Loop {
+	b, ok := f.graph.BlockAt(addr)
+	if !ok {
+		return nil
+	}
+	return f.innermost[b.ID]
+}
+
+// InnerLoops returns the loops with no children (the innermost loops),
+// which is what the paper counts as "active inner loops" in Table 2.
+func (f *Forest) InnerLoops() []*Loop {
+	var out []*Loop
+	for _, l := range f.Loops {
+		if len(l.Children) == 0 {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// FindLoops runs Havlak's interval analysis (Havlak 1997, as cited by the
+// paper) on the reachable portion of the graph and returns the loop-nesting
+// forest. The implementation follows the classical union-find formulation:
+// process headers in decreasing DFS preorder, collapse each discovered loop
+// body into its header, and classify regions whose entries are not
+// dominated by the header as irreducible.
+func (g *Graph) FindLoops() *Forest {
+	n := len(g.Blocks)
+
+	// DFS preorder numbering of the reachable subgraph.
+	const unvisited = -1
+	num := make([]int, n) // block ID -> preorder number
+	for i := range num {
+		num[i] = unvisited
+	}
+	var blockOf []int // preorder number -> block ID
+	var last []int    // preorder number -> max preorder in DFS subtree
+	var dfs func(id int) int
+	dfs = func(id int) int {
+		me := len(blockOf)
+		num[id] = me
+		blockOf = append(blockOf, id)
+		last = append(last, me)
+		lastNum := me
+		for _, s := range g.Blocks[id].Succs {
+			if num[s] == unvisited {
+				lastNum = dfs(s)
+			}
+		}
+		last[me] = lastNum
+		return lastNum
+	}
+	dfs(0)
+	r := len(blockOf) // reachable count
+
+	isAncestor := func(w, v int) bool { return w <= v && v <= last[w] }
+
+	// Edge classification in preorder-number space.
+	backPreds := make([][]int, r)
+	nonBackPreds := make([][]int, r)
+	for w := 0; w < r; w++ {
+		for _, predID := range g.Blocks[blockOf[w]].Preds {
+			v := num[predID]
+			if v == unvisited {
+				continue // unreachable predecessor
+			}
+			if isAncestor(w, v) {
+				backPreds[w] = append(backPreds[w], v)
+			} else {
+				nonBackPreds[w] = append(nonBackPreds[w], v)
+			}
+		}
+	}
+
+	// Union-find over preorder numbers.
+	uf := make([]int, r)
+	for i := range uf {
+		uf[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if uf[x] != x {
+			uf[x] = find(uf[x])
+		}
+		return uf[x]
+	}
+
+	f := &Forest{graph: g, innermost: make([]*Loop, n)}
+	loopAtHeader := make([]*Loop, r)
+	directMembers := make(map[*Loop][]int) // loop -> direct member preorder numbers
+
+	for w := r - 1; w >= 0; w-- {
+		var pool []int
+		inPool := make(map[int]bool)
+		selfLoop := false
+		for _, v := range backPreds[w] {
+			if v == w {
+				selfLoop = true
+				continue
+			}
+			rep := find(v)
+			if !inPool[rep] {
+				inPool[rep] = true
+				pool = append(pool, rep)
+			}
+		}
+
+		reducible := true
+		work := append([]int(nil), pool...)
+		for len(work) > 0 {
+			x := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, y := range nonBackPreds[x] {
+				yd := find(y)
+				if !isAncestor(w, yd) {
+					// A loop entry not dominated by w: irreducible region.
+					reducible = false
+					nonBackPreds[w] = append(nonBackPreds[w], yd)
+				} else if yd != w && !inPool[yd] {
+					inPool[yd] = true
+					pool = append(pool, yd)
+					work = append(work, yd)
+				}
+			}
+		}
+
+		if len(pool) == 0 && !selfLoop {
+			continue
+		}
+		headerBlock := g.Blocks[blockOf[w]]
+		l := &Loop{
+			ID:        len(f.Loops),
+			Header:    headerBlock,
+			Reducible: reducible,
+			Loc:       g.Bin.LineFor(headerBlock.Start),
+		}
+		f.Loops = append(f.Loops, l)
+		loopAtHeader[w] = l
+		for _, p := range pool {
+			if inner := loopAtHeader[p]; inner != nil && inner.Parent == nil {
+				inner.Parent = l
+				l.Children = append(l.Children, inner)
+			} else {
+				directMembers[l] = append(directMembers[l], p)
+			}
+			uf[p] = w
+		}
+	}
+
+	// Loops were created innermost-first; reverse so parents precede
+	// children, then fill depths, member lists, and attribution.
+	for i, j := 0, len(f.Loops)-1; i < j; i, j = i+1, j-1 {
+		f.Loops[i], f.Loops[j] = f.Loops[j], f.Loops[i]
+	}
+	for i, l := range f.Loops {
+		l.ID = i
+		if l.Parent == nil {
+			f.Top = append(f.Top, l)
+		}
+	}
+	var fill func(l *Loop, depth int) []*Block
+	fill = func(l *Loop, depth int) []*Block {
+		l.Depth = depth
+		blocks := []*Block{l.Header}
+		f.innermost[l.Header.ID] = l
+		for _, p := range directMembers[l] {
+			b := g.Blocks[blockOf[p]]
+			blocks = append(blocks, b)
+			f.innermost[b.ID] = l
+		}
+		for _, c := range l.Children {
+			blocks = append(blocks, fill(c, depth+1)...)
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i].Start < blocks[j].Start })
+		l.Blocks = blocks
+		return blocks
+	}
+	for _, l := range f.Top {
+		fill(l, 1)
+	}
+	return f
+}

@@ -1,0 +1,68 @@
+package cfg
+
+import "sort"
+
+// NaturalLoop is a loop discovered by the classical dominator/back-edge
+// construction: an edge v -> h where h dominates v is a back edge, and the
+// natural loop of h is h plus every block that reaches v without passing
+// through h.
+//
+// This is an independent, simpler loop finder used to cross-validate the
+// Havlak interval analysis: on reducible graphs the two must agree on the
+// set of loop headers (Havlak additionally handles irreducible regions and
+// produces the nesting forest).
+type NaturalLoop struct {
+	Header *Block
+	Blocks []*Block // sorted by start address, header included
+}
+
+// NaturalLoops finds all natural loops of the reachable subgraph, one per
+// header (back edges sharing a header are merged, as is conventional).
+func (g *Graph) NaturalLoops() []NaturalLoop {
+	idom := g.Dominators()
+	bodies := make(map[int]map[int]bool) // header -> block set
+
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !Dominates(idom, s, b.ID) {
+				continue // not a back edge
+			}
+			// Back edge b -> s: flood predecessors from b until s.
+			body := bodies[s]
+			if body == nil {
+				body = map[int]bool{s: true}
+				bodies[s] = body
+			}
+			stack := []int{b.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[x] {
+					continue
+				}
+				body[x] = true
+				for _, p := range g.Blocks[x].Preds {
+					if idom[p] >= 0 || p == 0 { // reachable only
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	headers := make([]int, 0, len(bodies))
+	for h := range bodies {
+		headers = append(headers, h)
+	}
+	sort.Ints(headers)
+	out := make([]NaturalLoop, 0, len(headers))
+	for _, h := range headers {
+		nl := NaturalLoop{Header: g.Blocks[h]}
+		for id := range bodies[h] {
+			nl.Blocks = append(nl.Blocks, g.Blocks[id])
+		}
+		sort.Slice(nl.Blocks, func(i, j int) bool { return nl.Blocks[i].Start < nl.Blocks[j].Start })
+		out = append(out, nl)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/objfile"
+	"repro/internal/workloads"
+)
+
+func TestNaturalLoopsNest(t *testing.T) {
+	bin, ips := buildNest(t)
+	g, _ := Build(bin)
+	loops := g.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("natural loop count = %d, want 2", len(loops))
+	}
+	// The inner loop's body must be a subset of the outer's.
+	outer, inner := loops[0], loops[1]
+	if len(outer.Blocks) < len(inner.Blocks) {
+		outer, inner = inner, outer
+	}
+	inOuter := map[int]bool{}
+	for _, b := range outer.Blocks {
+		inOuter[b.ID] = true
+	}
+	for _, b := range inner.Blocks {
+		if !inOuter[b.ID] {
+			t.Errorf("inner block B%d not inside outer natural loop", b.ID)
+		}
+	}
+	_ = ips
+}
+
+func TestNaturalLoopsNoLoops(t *testing.T) {
+	b := objfile.NewBuilder("straight")
+	b.Func("main")
+	b.Load("x.c", 1)
+	bin := b.Finish()
+	g, _ := Build(bin)
+	if loops := g.NaturalLoops(); len(loops) != 0 {
+		t.Errorf("straight-line code produced %d natural loops", len(loops))
+	}
+}
+
+// Cross-validation: on every (reducible) workload binary in the repository,
+// the Havlak forest and the classical natural-loop construction must agree
+// on the exact set of loop headers and per-header body sizes.
+func TestHavlakAgreesWithNaturalLoops(t *testing.T) {
+	var programs []*workloads.Program
+	for _, name := range workloads.Names() {
+		cs, err := workloads.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		programs = append(programs, cs.Original, cs.Optimized)
+	}
+	programs = append(programs, workloads.RodiniaSuite()...)
+
+	for _, p := range programs {
+		g, err := Build(p.Binary)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		forest := g.FindLoops()
+		natural := g.NaturalLoops()
+
+		havlakHeaders := map[int]int{} // header block ID -> body size
+		for _, l := range forest.Loops {
+			if !l.Reducible {
+				t.Fatalf("%s: workload binary unexpectedly irreducible", p.Name)
+			}
+			havlakHeaders[l.Header.ID] = len(l.Blocks)
+		}
+		naturalHeaders := map[int]int{}
+		for _, l := range natural {
+			naturalHeaders[l.Header.ID] = len(l.Blocks)
+		}
+		if len(havlakHeaders) != len(naturalHeaders) {
+			t.Fatalf("%s: Havlak found %d loops, natural-loop construction %d",
+				p.Name, len(havlakHeaders), len(naturalHeaders))
+		}
+		for h, n := range naturalHeaders {
+			hn, ok := havlakHeaders[h]
+			if !ok {
+				t.Fatalf("%s: header B%d found by natural loops only", p.Name, h)
+			}
+			if hn != n {
+				t.Errorf("%s: header B%d body size %d (Havlak) vs %d (natural)",
+					p.Name, h, hn, n)
+			}
+		}
+	}
+}
+
+func TestNaturalLoopsSelfLoop(t *testing.T) {
+	base := uint64(objfile.BaseText)
+	bin := &objfile.Binary{
+		Name: "self",
+		Instrs: []objfile.Instruction{
+			{Addr: base, Kind: objfile.CondBranch, Target: base},
+			{Addr: base + 4, Kind: objfile.Ret},
+		},
+	}
+	g, err := Build(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := g.NaturalLoops()
+	if len(loops) != 1 || len(loops[0].Blocks) != 1 {
+		t.Errorf("self-loop: %+v", loops)
+	}
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/cfg"
+	"repro/internal/classify"
+	"repro/internal/objfile"
+	"repro/internal/rcd"
+)
+
+// LoopReport is the per-loop output of code-centric attribution: the
+// columns of Table 4 plus the RCD metrics and the classifier verdict.
+type LoopReport struct {
+	// Loop names the loop by its header source location (e.g.
+	// "needle.cpp:189"); anonymous code blocks get "loop@<addr>".
+	Loop  string
+	Depth int
+	// Samples is the number of L1-miss samples attributed to the loop;
+	// Contribution is its share of all samples (the paper's "L1 cache
+	// miss contribution").
+	Samples      int
+	Contribution float64
+	// SetsUsed counts cache sets that received at least one sampled miss
+	// in this loop (Table 4's rightmost column).
+	SetsUsed int
+	// CF is the short-RCD contribution factor of the loop (Equation 1)
+	// at the analysis threshold.
+	CF float64
+	// MeanCP is the mean conflict-period length observed in the loop.
+	MeanCP float64
+	// Conflict is the classifier verdict: does this loop suffer from
+	// conflict misses?
+	Conflict bool
+	// VictimSets lists sets receiving more than twice the uniform miss
+	// share within this loop.
+	VictimSets []int
+	// CDF is the loop's RCD distribution (Figures 7 and 9).
+	CDF []CDFPoint
+}
+
+// CDFPoint mirrors stats.CDFPoint for report consumers.
+type CDFPoint struct {
+	RCD int
+	Cum float64
+}
+
+// DataReport is the per-allocation output of data-centric attribution.
+type DataReport struct {
+	// Name is the allocation label (data-structure name).
+	Name string
+	// Samples is the number of samples falling inside the allocation;
+	// ShortRCD of those, the number whose sampled RCD was short —
+	// the data structures responsible for conflicts.
+	Samples      int
+	ShortRCD     int
+	Contribution float64
+}
+
+// FuncReport is the per-function view of code-centric attribution: the
+// paper's program contexts are "loops, functions", and function-level
+// rollups are what anonymous closed-source regions (MKL) degrade to.
+type FuncReport struct {
+	Func         string
+	Samples      int
+	Contribution float64
+	CF           float64
+}
+
+// Analysis is the complete offline-analysis result for one profile.
+type Analysis struct {
+	Workload  string
+	Threshold int
+	// TotalSamples is the number of samples analyzed.
+	TotalSamples int
+	// Loops is sorted by decreasing sample count.
+	Loops []LoopReport
+	// Funcs is the function-level rollup, sorted by decreasing samples.
+	Funcs []FuncReport
+	// Data is sorted by decreasing sample count.
+	Data []DataReport
+	// ActiveInnerLoops counts innermost loops that received samples
+	// (Table 2's "# of active inner loops").
+	ActiveInnerLoops int
+	// CF and CDF are the whole-program pooled metrics.
+	CF  float64
+	CDF []CDFPoint
+	// Conflict is the whole-program classifier verdict.
+	Conflict bool
+	// Unattributed counts samples whose IP matched no recovered loop.
+	Unattributed int
+}
+
+// TargetLoop returns the report for the loop with the given name, if any.
+func (a *Analysis) TargetLoop(name string) (LoopReport, bool) {
+	for _, l := range a.Loops {
+		if l.Loop == name {
+			return l, true
+		}
+	}
+	return LoopReport{}, false
+}
+
+// AnalyzeOptions configures the offline analyzer. The zero value uses the
+// paper's threshold T = 8 and the built-in classifier model.
+type AnalyzeOptions struct {
+	Threshold int                // 0 selects rcd.DefaultThreshold
+	Model     *classify.Logistic // nil selects DefaultModel()
+	// MinLoopSamples suppresses loops with fewer samples from conflict
+	// classification (they get Conflict=false); default 8.
+	MinLoopSamples int
+}
+
+func (o AnalyzeOptions) withDefaults() AnalyzeOptions {
+	if o.Threshold == 0 {
+		o.Threshold = rcd.DefaultThreshold
+	}
+	if o.Model == nil {
+		m := DefaultModel()
+		o.Model = &m
+	}
+	if o.MinLoopSamples == 0 {
+		o.MinLoopSamples = 8
+	}
+	return o
+}
+
+// loopState accumulates per-loop sample statistics during attribution.
+type loopState struct {
+	loop     *cfg.Loop
+	samples  int
+	trackers []*rcd.CPTracker // one per thread
+}
+
+// Analyze is CCProf's offline phase: it recovers the loop forest from the
+// binary, attributes every sample to its innermost loop (code-centric) and
+// covering allocation (data-centric), approximates RCD distributions from
+// the sampled miss sequences, and classifies each loop.
+func Analyze(prof *Profile, bin *objfile.Binary, arena *alloc.Arena, opts AnalyzeOptions) (*Analysis, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("core: nil profile")
+	}
+	if bin == nil {
+		return nil, fmt.Errorf("core: nil binary")
+	}
+	o := opts.withDefaults()
+
+	graph, err := cfg.Build(bin)
+	if err != nil {
+		return nil, fmt.Errorf("core: recovering CFG: %w", err)
+	}
+	forest := graph.FindLoops()
+
+	threads := len(prof.Samples)
+	byLoop := make(map[*cfg.Loop]*loopState)
+	globals := make([]*rcd.CPTracker, threads)
+	for t := range globals {
+		globals[t] = rcd.NewCP(prof.Geom.Sets)
+	}
+	dataSamples := make(map[string]int)
+	dataShort := make(map[string]int)
+	funcSamples := make(map[string]int)
+	funcShort := make(map[string]int)
+
+	an := &Analysis{
+		Workload:  prof.Workload,
+		Threshold: o.Threshold,
+	}
+
+	burst := prof.Burst
+	for t, samples := range prof.Samples {
+		for si, sm := range samples {
+			// Bursty sampling: only within-burst sample distances are
+			// exact miss distances, so break every tracker's sequence
+			// at each burst boundary.
+			if burst > 1 && si%burst == 0 {
+				globals[t].BreakSequence()
+				for _, st := range byLoop {
+					st.trackers[t].BreakSequence()
+				}
+			}
+			an.TotalSamples++
+			set := prof.Geom.Set(sm.Addr)
+			d := globals[t].Observe(set)
+
+			// Data-centric attribution.
+			if arena != nil {
+				if blk, ok := arena.Find(sm.Addr); ok {
+					dataSamples[blk.Name]++
+					if d != rcd.NoPrior && d <= o.Threshold {
+						dataShort[blk.Name]++
+					}
+				}
+			}
+
+			// Function-level rollup.
+			if fn, ok := bin.FuncFor(sm.IP); ok {
+				funcSamples[fn.Name]++
+				if d != rcd.NoPrior && d <= o.Threshold {
+					funcShort[fn.Name]++
+				}
+			}
+
+			// Code-centric attribution.
+			loop := forest.InnermostAt(sm.IP)
+			if loop == nil {
+				an.Unattributed++
+				continue
+			}
+			st := byLoop[loop]
+			if st == nil {
+				st = &loopState{loop: loop, trackers: make([]*rcd.CPTracker, threads)}
+				for i := range st.trackers {
+					st.trackers[i] = rcd.NewCP(prof.Geom.Sets)
+				}
+				byLoop[loop] = st
+			}
+			st.samples++
+			st.trackers[t].Observe(set)
+		}
+	}
+
+	// Whole-program metrics: pool per-thread trackers.
+	pooledGlobal := poolTrackers(globals, o.Threshold)
+	an.CF = pooledGlobal.cf
+	an.CDF = pooledGlobal.cdf
+	an.Conflict = an.TotalSamples >= o.MinLoopSamples && o.Model.Predict(an.CF)
+
+	// Per-loop reports.
+	for _, st := range byLoop {
+		pooled := poolTrackers(st.trackers, o.Threshold)
+		rep := LoopReport{
+			Loop:         st.loop.Name(),
+			Depth:        st.loop.Depth,
+			Samples:      st.samples,
+			Contribution: float64(st.samples) / float64(an.TotalSamples),
+			SetsUsed:     pooled.setsUsed,
+			CF:           pooled.cf,
+			MeanCP:       pooled.meanCP,
+			VictimSets:   pooled.victims,
+			CDF:          pooled.cdf,
+		}
+		rep.Conflict = st.samples >= o.MinLoopSamples && o.Model.Predict(rep.CF)
+		an.Loops = append(an.Loops, rep)
+		if len(st.loop.Children) == 0 {
+			an.ActiveInnerLoops++
+		}
+	}
+	sort.Slice(an.Loops, func(i, j int) bool {
+		if an.Loops[i].Samples != an.Loops[j].Samples {
+			return an.Loops[i].Samples > an.Loops[j].Samples
+		}
+		return an.Loops[i].Loop < an.Loops[j].Loop
+	})
+
+	// Function reports. The per-function cf reuses the global short-RCD
+	// attribution of each sample (the sampled sequence is one stream).
+	for name, n := range funcSamples {
+		an.Funcs = append(an.Funcs, FuncReport{
+			Func:         name,
+			Samples:      n,
+			Contribution: float64(n) / float64(an.TotalSamples),
+			CF:           float64(funcShort[name]) / float64(n),
+		})
+	}
+	sort.Slice(an.Funcs, func(i, j int) bool {
+		if an.Funcs[i].Samples != an.Funcs[j].Samples {
+			return an.Funcs[i].Samples > an.Funcs[j].Samples
+		}
+		return an.Funcs[i].Func < an.Funcs[j].Func
+	})
+
+	// Data reports.
+	for name, n := range dataSamples {
+		an.Data = append(an.Data, DataReport{
+			Name:         name,
+			Samples:      n,
+			ShortRCD:     dataShort[name],
+			Contribution: float64(n) / float64(an.TotalSamples),
+		})
+	}
+	sort.Slice(an.Data, func(i, j int) bool {
+		if an.Data[i].Samples != an.Data[j].Samples {
+			return an.Data[i].Samples > an.Data[j].Samples
+		}
+		return an.Data[i].Name < an.Data[j].Name
+	})
+	return an, nil
+}
+
+// pooledMetrics aggregates the per-thread trackers of one context.
+type pooledMetrics struct {
+	cf       float64
+	setsUsed int
+	meanCP   float64
+	victims  []int
+	cdf      []CDFPoint
+}
+
+func poolTrackers(cps []*rcd.CPTracker, threshold int) pooledMetrics {
+	var pm pooledMetrics
+	if len(cps) == 0 {
+		return pm
+	}
+	sets := cps[0].RCD().Sets()
+	var total, short uint64
+	var cpSum float64
+	var cpRuns uint64
+	missBySet := make([]uint64, sets)
+	var hist histAccum
+	for _, cp := range cps {
+		cp.Flush()
+		tr := cp.RCD()
+		total += tr.Total()
+		short += tr.ShortCount(threshold)
+		for s := 0; s < sets; s++ {
+			missBySet[s] += tr.SetMisses(s)
+		}
+		hist.merge(tr)
+		if p := cp.Periods(); p.Total() > 0 {
+			cpSum += cp.MeanPeriod() * float64(p.Total())
+			cpRuns += p.Total()
+		}
+	}
+	if total == 0 {
+		return pm
+	}
+	pm.cf = float64(short) / float64(total)
+	for s, m := range missBySet {
+		if m > 0 {
+			pm.setsUsed++
+		}
+		if float64(m) > 2*float64(total)/float64(sets) {
+			pm.victims = append(pm.victims, s)
+		}
+	}
+	if cpRuns > 0 {
+		pm.meanCP = cpSum / float64(cpRuns)
+	}
+	pm.cdf = hist.cdf()
+	return pm
+}
+
+// histAccum merges per-thread pooled RCD histograms into one CDF.
+type histAccum struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+func (h *histAccum) merge(tr *rcd.Tracker) {
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+	}
+	src := tr.Hist()
+	for _, v := range src.Values() {
+		h.counts[v] += src.Count(v)
+		h.total += src.Count(v)
+	}
+}
+
+func (h *histAccum) cdf() []CDFPoint {
+	if h.total == 0 {
+		return nil
+	}
+	vals := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	out := make([]CDFPoint, 0, len(vals))
+	var run uint64
+	for _, v := range vals {
+		run += h.counts[v]
+		out = append(out, CDFPoint{RCD: v, Cum: float64(run) / float64(h.total)})
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package core
+
+// OverheadModel converts sample/reference counts into the runtime-overhead
+// factors the paper reports (Figure 8, Table 2).
+//
+// The native application retires roughly one memory reference per
+// AppNsPerRef nanoseconds. Each PEBS sample costs SampleNs (interrupt,
+// register capture, handler, buffer write); tracing a reference through a
+// Pin + Dinero-style simulator costs SimNsPerRef. Only the ratios matter:
+// the defaults are calibrated so that the recommended sampling period
+// reproduces the paper's ~2.9x overhead and whole-trace simulation lands in
+// the paper's hundreds-to-thousands-x band.
+type OverheadModel struct {
+	AppNsPerRef float64 // native cost per memory reference
+	SampleNs    float64 // cost per PMU sample (interrupt + handler)
+	SimNsPerRef float64 // cost per reference under trace-driven simulation
+}
+
+// DefaultOverheadModel returns the calibrated model.
+func DefaultOverheadModel() OverheadModel {
+	return OverheadModel{AppNsPerRef: 1, SampleNs: 2000, SimNsPerRef: 400}
+}
+
+// Profiling returns the modeled runtime-overhead factor of sampling:
+// 1 + (samples x SampleNs) / (refs x AppNsPerRef).
+func (m OverheadModel) Profiling(refs, samples uint64) float64 {
+	if refs == 0 {
+		return 1
+	}
+	return 1 + float64(samples)*m.SampleNs/(float64(refs)*m.AppNsPerRef)
+}
+
+// ProfilingOf returns the modeled overhead of a collected profile.
+func (m OverheadModel) ProfilingOf(p *Profile) float64 {
+	return m.Profiling(p.Refs, uint64(p.SampleCount()))
+}
+
+// Simulation returns the modeled overhead factor of tracing loopRefs
+// references (the target loops) out of a totalRefs-reference execution:
+// 1 + (loopRefs x SimNsPerRef) / (totalRefs x AppNsPerRef). Tracing the
+// whole application (loopRefs == totalRefs) costs the full simulation
+// slowdown.
+func (m OverheadModel) Simulation(totalRefs, loopRefs uint64) float64 {
+	if totalRefs == 0 {
+		return 1
+	}
+	return 1 + float64(loopRefs)*m.SimNsPerRef/(float64(totalRefs)*m.AppNsPerRef)
+}

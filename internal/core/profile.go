@@ -1,0 +1,141 @@
+// Package core implements CCProf itself: the online profiler that runs a
+// workload under simulated PEBS address sampling, and the offline analyzer
+// that recovers loops from the binary, approximates per-loop RCD
+// distributions from the samples, classifies conflict misses, and performs
+// code- and data-centric attribution (§4 of the paper).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/pmu"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Profile is the output of the online phase: everything the offline
+// analyzer needs, and nothing the hardware would not have provided.
+type Profile struct {
+	Workload string
+	Geom     mem.Geometry
+	// PeriodMean is the configured mean sampling period.
+	PeriodMean float64
+	// Samples holds the address samples of each profiled thread; each
+	// thread has a private L1, so per-thread sequences are analyzed
+	// independently and their metrics pooled.
+	Samples [][]pmu.Sample
+	// Events is the total number of L1-miss events across threads (the
+	// precise PMU counter value), Refs the total references executed.
+	Events uint64
+	Refs   uint64
+	// Burst is the configured burst length (1 = single-event sampling);
+	// the analyzer only trusts within-burst sample distances when > 1.
+	Burst int
+	// BaselineNs and ProfiledNs are measured wall-clock times of the
+	// workload run without and with the sampler attached, for the
+	// in-harness overhead measurement.
+	BaselineNs int64
+	ProfiledNs int64
+}
+
+// SampleCount returns the total samples across threads.
+func (p *Profile) SampleCount() int {
+	n := 0
+	for _, s := range p.Samples {
+		n += len(s)
+	}
+	return n
+}
+
+// MeasuredOverhead returns the in-harness wall-clock overhead factor of
+// profiling (profiled time / baseline time), or 0 when timings are missing.
+func (p *Profile) MeasuredOverhead() float64 {
+	if p.BaselineNs <= 0 {
+		return 0
+	}
+	return float64(p.ProfiledNs) / float64(p.BaselineNs)
+}
+
+// ProfileOptions configures the online profiler. The zero value profiles a
+// sequential run at the paper's recommended mean sampling period (1212)
+// with the default L1 geometry.
+type ProfileOptions struct {
+	Geom    mem.Geometry   // zero value selects mem.L1Default()
+	Period  pmu.PeriodDist // nil selects pmu.Uniform(pmu.DefaultPeriod)
+	Seed    int64
+	Threads int  // 0 or 1 profiles the sequential run
+	NoTime  bool // skip the baseline timing run (tests)
+	// Burst captures this many consecutive miss events per period expiry
+	// (bursty sampling, §5.2); 0 or 1 samples single events.
+	Burst int
+}
+
+func (o ProfileOptions) withDefaults() ProfileOptions {
+	if o.Geom.Sets == 0 {
+		o.Geom = mem.L1Default()
+	}
+	if o.Period == nil {
+		o.Period = pmu.Uniform(pmu.DefaultPeriod)
+	}
+	if o.Threads < 1 {
+		o.Threads = 1
+	}
+	return o
+}
+
+// ProfileProgram runs the workload under the simulated PMU — CCProf's
+// online phase. Each thread runs against a private sampler (its own L1
+// model and sampling phase), mirroring how libmonitor sets up per-thread
+// PEBS contexts.
+func ProfileProgram(p *workloads.Program, opts ProfileOptions) (*Profile, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil program")
+	}
+	o := opts.withDefaults()
+	burst := o.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	prof := &Profile{
+		Workload:   p.Name,
+		Geom:       o.Geom,
+		PeriodMean: o.Period.Mean(),
+		Burst:      burst,
+		Samples:    make([][]pmu.Sample, o.Threads),
+	}
+
+	if !o.NoTime {
+		start := time.Now()
+		for tid := 0; tid < o.Threads; tid++ {
+			p.RunThread(tid, o.Threads, trace.Discard)
+		}
+		prof.BaselineNs = time.Since(start).Nanoseconds()
+	}
+
+	// Threads run concurrently, as they would under libmonitor: each gets
+	// a private sampler (its own L1 model, RNG phase and sample buffer),
+	// so the result is deterministic regardless of scheduling.
+	start := time.Now()
+	samplers := make([]*pmu.Sampler, o.Threads)
+	var wg sync.WaitGroup
+	for tid := 0; tid < o.Threads; tid++ {
+		s := pmu.NewSampler(pmu.Config{Geom: o.Geom, Period: o.Period, Seed: o.Seed + int64(tid), Burst: o.Burst})
+		samplers[tid] = s
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			p.RunThread(tid, o.Threads, s)
+		}(tid)
+	}
+	wg.Wait()
+	for tid, s := range samplers {
+		prof.Samples[tid] = s.Samples
+		prof.Events += s.Events
+		prof.Refs += s.Refs
+	}
+	prof.ProfiledNs = time.Since(start).Nanoseconds()
+	return prof, nil
+}

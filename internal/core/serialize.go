@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/pmu"
+)
+
+// Profile serialization: the online profiler "serializes the profiles from
+// different threads and writes them into a log file for offline analysis"
+// (§4). The format is a small versioned binary layout; everything is
+// little-endian.
+
+var profileMagic = [4]byte{'C', 'C', 'P', '2'}
+
+var errBadProfile = errors.New("core: not a CCProf profile (bad magic)")
+
+// WriteTo serializes the profile. It returns the number of bytes written.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		n += int64(binary.Size(data))
+		return nil
+	}
+	if _, err := bw.Write(profileMagic[:]); err != nil {
+		return n, err
+	}
+	n += 4
+	name := []byte(p.Workload)
+	if err := write(uint32(len(name))); err != nil {
+		return n, err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return n, err
+	}
+	n += int64(len(name))
+	hdr := []uint64{
+		uint64(p.Geom.LineSize), uint64(p.Geom.Sets), uint64(p.Geom.Ways),
+		math.Float64bits(p.PeriodMean),
+		p.Events, p.Refs,
+		uint64(p.BaselineNs), uint64(p.ProfiledNs),
+		uint64(p.Burst),
+		uint64(len(p.Samples)),
+	}
+	for _, v := range hdr {
+		if err := write(v); err != nil {
+			return n, err
+		}
+	}
+	for _, thread := range p.Samples {
+		if err := write(uint64(len(thread))); err != nil {
+			return n, err
+		}
+		for _, sm := range thread {
+			if err := write(sm.IP); err != nil {
+				return n, err
+			}
+			if err := write(sm.Addr); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadProfile deserializes a profile written by WriteTo.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading profile header: %w", err)
+	}
+	if magic != profileMagic {
+		return nil, errBadProfile
+	}
+	read := func(data any) error { return binary.Read(br, binary.LittleEndian, data) }
+
+	var nameLen uint32
+	if err := read(&nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("core: implausible workload name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var hdr [10]uint64
+	for i := range hdr {
+		if err := read(&hdr[i]); err != nil {
+			return nil, err
+		}
+	}
+	geom, err := mem.NewGeometry(int(hdr[0]), int(hdr[1]), int(hdr[2]))
+	if err != nil {
+		return nil, fmt.Errorf("core: profile geometry: %w", err)
+	}
+	threads := hdr[9]
+	if threads > 1<<16 {
+		return nil, fmt.Errorf("core: implausible thread count %d", threads)
+	}
+	p := &Profile{
+		Workload:   string(name),
+		Geom:       geom,
+		PeriodMean: math.Float64frombits(hdr[3]),
+		Events:     hdr[4],
+		Refs:       hdr[5],
+		BaselineNs: int64(hdr[6]),
+		ProfiledNs: int64(hdr[7]),
+		Burst:      int(hdr[8]),
+		Samples:    make([][]pmu.Sample, threads),
+	}
+	for t := range p.Samples {
+		var count uint64
+		if err := read(&count); err != nil {
+			return nil, err
+		}
+		if count > 1<<32 {
+			return nil, fmt.Errorf("core: implausible sample count %d", count)
+		}
+		p.Samples[t] = make([]pmu.Sample, count)
+		for i := range p.Samples[t] {
+			if err := read(&p.Samples[t][i].IP); err != nil {
+				return nil, err
+			}
+			if err := read(&p.Samples[t][i].Addr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one named experiment, rendering to w.
+type Runner func(w io.Writer, scale Scale) error
+
+// Registry maps experiment names (as used by `cmd/experiments -run`) to
+// runners covering every table and figure of the paper plus the ablations.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig2":      func(w io.Writer, s Scale) error { _, err := Fig2(w, s); return err },
+		"fig7":      func(w io.Writer, s Scale) error { _, err := Fig7(w, s); return err },
+		"fig8":      func(w io.Writer, s Scale) error { _, err := Fig8(w, s, nil); return err },
+		"fig9":      func(w io.Writer, s Scale) error { _, err := Fig9(w, s); return err },
+		"table2":    func(w io.Writer, s Scale) error { _, err := Table2(w, s); return err },
+		"table3":    func(w io.Writer, s Scale) error { _, err := Table3(w, s); return err },
+		"table4":    func(w io.Writer, s Scale) error { _, err := Table4(w, s); return err },
+		"baselines": func(w io.Writer, s Scale) error { _, err := Baselines(w, s); return err },
+		"l2ext":     func(w io.Writer, s Scale) error { _, err := L2Extension(w, s); return err },
+		"ablation-burst": func(w io.Writer, s Scale) error {
+			_, err := AblationBurst(w, s)
+			return err
+		},
+		"ablation-associativity": func(w io.Writer, s Scale) error {
+			_, err := AblationAssociativity(w, s)
+			return err
+		},
+		"ablation-threshold": func(w io.Writer, s Scale) error {
+			_, err := AblationThreshold(w, s, nil)
+			return err
+		},
+		"ablation-period-dist": func(w io.Writer, s Scale) error {
+			_, err := AblationPeriodDist(w, s, 0)
+			return err
+		},
+		"ablation-replacement": func(w io.Writer, s Scale) error {
+			_, err := AblationReplacement(w, s)
+			return err
+		},
+	}
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All runs every experiment in name order, separated by headers.
+func All(w io.Writer, scale Scale) error {
+	reg := Registry()
+	for _, name := range Names() {
+		fprintf(w, "================ %s ================\n", name)
+		if err := reg[name](w, scale); err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		fprintf(w, "\n")
+	}
+	return nil
+}

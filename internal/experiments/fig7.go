@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// Fig7Row is one application's curve in Figure 7: the CDF of sampled RCDs
+// weighted by L1-miss contribution, plus the short-RCD contribution factor.
+type Fig7Row struct {
+	App string
+	CF  float64
+	CDF []core.CDFPoint
+}
+
+// Fig7Period is the mean sampling period used for the Figure 7/9 CDFs: the
+// paper's high-accuracy setting (F1 = 1 in Figure 8).
+const Fig7Period = 171
+
+// Fig7 profiles the 18 Rodinia-style kernels and returns their RCD CDFs.
+// The paper's finding: Needleman-Wunsch shows ~88% of L1 misses at
+// RCD <= 8, all other applications only 10-20%.
+func Fig7(w io.Writer, scale Scale) ([]Fig7Row, error) {
+	suite := workloads.RodiniaSuite()
+	rows := make([]Fig7Row, 0, len(suite))
+	for _, p := range suite {
+		_, an, err := analyzed(p, Fig7Period, 7)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig7Row{App: p.Name, CF: an.CF, CDF: an.CDF})
+	}
+	if w != nil {
+		t := report.NewTable("Figure 7 — cumulative L1 miss contribution of RCD, Rodinia suite (SP=171)",
+			"application", "cf (RCD<=8)", "cum@RCD64", "samples in CDF")
+		var chart report.CDFChart
+		chart.Title = "Figure 7 — RCD CDFs (x: RCD, y: cumulative miss fraction)"
+		chart.XLabel = "RCD"
+		chart.XMax = 128
+		for _, r := range rows {
+			at64 := cumAt(r.CDF, 64)
+			t.Row(r.App, report.Pct(r.CF), report.Pct(at64), len(r.CDF))
+			// Chart only the extremes to keep the ASCII plot readable:
+			// nw (conflict) and two clean kernels.
+			switch r.App {
+			case "nw", "kmeans", "srad":
+				chart.Series = append(chart.Series, toSeries(r.App, r.CDF))
+			}
+		}
+		if err := t.Write(w); err != nil {
+			return rows, err
+		}
+		fprintf(w, "\n")
+		if err := chart.Write(w); err != nil {
+			return rows, err
+		}
+	}
+	return rows, nil
+}
+
+func cumAt(cdf []core.CDFPoint, rcdMax int) float64 {
+	var c float64
+	for _, p := range cdf {
+		if p.RCD > rcdMax {
+			break
+		}
+		c = p.Cum
+	}
+	return c
+}
+
+func toSeries(name string, cdf []core.CDFPoint) report.Series {
+	s := report.Series{Name: name}
+	for _, p := range cdf {
+		s.Points = append(s.Points, [2]float64{float64(p.RCD), p.Cum})
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// Fig9Row reproduces one application's pair of curves in Figure 9: the RCD
+// CDF (and short-RCD contribution factor) before and after the paper's
+// optimization.
+type Fig9Row struct {
+	App     string
+	CFOrig  float64
+	CFOpt   float64
+	CDFOrig []core.CDFPoint
+	CDFOpt  []core.CDFPoint
+}
+
+// Fig9 profiles every case study's original and optimized variants and
+// compares their sampled RCD distributions. The paper's claim: after
+// padding (or interchange), short RCDs account for only a small share of
+// L1 misses.
+func Fig9(w io.Writer, scale Scale) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, cs := range caseStudies(scale) {
+		// Each case is profiled at the period its conflicts need
+		// (HimenoBMT requires high-frequency sampling).
+		_, anO, err := analyzed(cs.Original, cs.ProfilePeriod, 17)
+		if err != nil {
+			return nil, err
+		}
+		_, anP, err := analyzed(cs.Optimized, cs.ProfilePeriod, 17)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{
+			App:     cs.Name,
+			CFOrig:  anO.CF,
+			CFOpt:   anP.CF,
+			CDFOrig: anO.CDF,
+			CDFOpt:  anP.CDF,
+		})
+	}
+	if w != nil {
+		t := report.NewTable("Figure 9 — short-RCD (<=8) L1 miss contribution before/after optimization",
+			"application", "cf original", "cf optimized", "reduction")
+		for _, r := range rows {
+			red := 0.0
+			if r.CFOrig > 0 {
+				red = 1 - r.CFOpt/r.CFOrig
+			}
+			t.Row(r.App, report.Pct(r.CFOrig), report.Pct(r.CFOpt), report.Pct(red))
+		}
+		if err := t.Write(w); err != nil {
+			return rows, err
+		}
+		// Chart the most dramatic pair.
+		if len(rows) > 0 {
+			ch := report.CDFChart{
+				Title:  "Figure 9 — " + rows[0].App + " RCD CDF, original vs optimized",
+				XLabel: "RCD",
+				XMax:   128,
+				Series: []report.Series{
+					toSeries(rows[0].App+" original", rows[0].CDFOrig),
+					toSeries(rows[0].App+" optimized", rows[0].CDFOpt),
+				},
+			}
+			fprintf(w, "\n")
+			if err := ch.Write(w); err != nil {
+				return rows, err
+			}
+		}
+	}
+	return rows, nil
+}

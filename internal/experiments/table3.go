@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/report"
+)
+
+// Table3Row reproduces one (application, machine) cell group of Table 3:
+// the cycle-model speedup of the optimized variant and the cache-miss
+// reductions at each level.
+type Table3Row struct {
+	App     string
+	Machine string
+	Threads int
+	Speedup float64
+	L1Red   float64 // percent; negative means more misses (as in the paper)
+	L2Red   float64
+	LLCRed  float64
+}
+
+// ScaledMachine shrinks a machine's shared LLC by the given factor. The
+// workloads run at laptop scale (4-16x smaller footprints than the paper's
+// inputs), so the LLC must shrink proportionally or every working set fits
+// and no LLC-level effect can be observed; the Broadwell:Skylake LLC ratio
+// is preserved.
+func ScaledMachine(m mem.Machine, factor int) mem.Machine {
+	g := m.LLC
+	sets := g.Sets / factor
+	if sets < 64 {
+		sets = 64
+	}
+	m.LLC = mem.MustGeometry(g.LineSize, sets, g.Ways)
+	m.Name += " (LLC/16)"
+	return m
+}
+
+// Table3 simulates every case study, original vs. optimized, on the
+// Broadwell (28-thread) and Skylake (8-thread) configurations with
+// LLC-scaled hierarchies. Sequential case studies (ADI) run
+// single-threaded, as in the paper.
+func Table3(w io.Writer, scale Scale) ([]Table3Row, error) {
+	machines := []mem.Machine{
+		ScaledMachine(mem.Broadwell(), 16),
+		ScaledMachine(mem.Skylake(), 16),
+	}
+	var rows []Table3Row
+	for _, cs := range caseStudies(scale) {
+		for _, m := range machines {
+			threads := m.Threads
+			if !cs.Parallel {
+				threads = 1
+			}
+			if scale == Quick && threads > 8 {
+				threads = 8
+			}
+			orig := simulateThreaded(cs.Original, m, threads)
+			opt := simulateThreaded(cs.Optimized, m, threads)
+			rows = append(rows, Table3Row{
+				App:     cs.Name,
+				Machine: m.Name,
+				Threads: threads,
+				Speedup: cache.Speedup(orig, opt),
+				L1Red:   cache.Reduction(orig, opt, cache.LevelL1),
+				L2Red:   cache.Reduction(orig, opt, cache.LevelL2),
+				LLCRed:  cache.Reduction(orig, opt, cache.LevelLLC),
+			})
+		}
+	}
+	if w != nil {
+		t := report.NewTable("Table 3 — speedup and cache miss reduction after optimization",
+			"application", "machine", "threads", "speedup", "L1 red", "L2 red", "LLC red")
+		for _, r := range rows {
+			t.Row(r.App, r.Machine, r.Threads, report.Times(r.Speedup),
+				pct1(r.L1Red), pct1(r.L2Red), pct1(r.LLCRed))
+		}
+		if err := t.Write(w); err != nil {
+			return rows, err
+		}
+	}
+	return rows, nil
+}
+
+func pct1(v float64) string { return report.Pct(v / 100) }

@@ -1,0 +1,113 @@
+// Package mem defines cache geometry and address arithmetic shared by the
+// cache simulator, the simulated PMU, and the RCD analyzer.
+//
+// A Geometry describes one level of a set-associative cache: line size,
+// number of sets, and associativity. It decomposes a byte address into the
+// classical (tag, set index, line offset) triple shown in Figure 1 of the
+// CCProf paper; the set index is what CCProf attributes sampled misses to.
+package mem
+
+import "fmt"
+
+// Geometry describes a set-associative cache level.
+//
+// All three parameters must be powers of two. The zero value is not usable;
+// construct with NewGeometry or use one of the predefined machine configs.
+type Geometry struct {
+	LineSize int // bytes per cache line
+	Sets     int // number of sets
+	Ways     int // lines per set (associativity)
+
+	offsetBits uint
+	setBits    uint
+	setMask    uint64
+	offsetMask uint64
+}
+
+// NewGeometry validates the parameters and precomputes the bit masks used by
+// address decomposition. It returns an error unless every parameter is a
+// positive power of two.
+func NewGeometry(lineSize, sets, ways int) (Geometry, error) {
+	switch {
+	case !isPow2(lineSize):
+		return Geometry{}, fmt.Errorf("mem: line size %d is not a positive power of two", lineSize)
+	case !isPow2(sets):
+		return Geometry{}, fmt.Errorf("mem: set count %d is not a positive power of two", sets)
+	case ways <= 0:
+		return Geometry{}, fmt.Errorf("mem: associativity %d is not positive", ways)
+	}
+	g := Geometry{LineSize: lineSize, Sets: sets, Ways: ways}
+	g.offsetBits = log2(lineSize)
+	g.setBits = log2(sets)
+	g.offsetMask = uint64(lineSize) - 1
+	g.setMask = uint64(sets) - 1
+	return g, nil
+}
+
+// MustGeometry is like NewGeometry but panics on invalid parameters. It is
+// intended for package-level configuration literals.
+func MustGeometry(lineSize, sets, ways int) Geometry {
+	g, err := NewGeometry(lineSize, sets, ways)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Size returns the total capacity of the cache in bytes.
+func (g Geometry) Size() int { return g.LineSize * g.Sets * g.Ways }
+
+// Line returns the line address (the address with the offset bits cleared).
+func (g Geometry) Line(addr uint64) uint64 { return addr &^ g.offsetMask }
+
+// LineNumber returns the line address shifted down by the offset bits, i.e. a
+// dense line index suitable for map keys.
+func (g Geometry) LineNumber(addr uint64) uint64 { return addr >> g.offsetBits }
+
+// Set returns the set index of addr: the setBits bits directly above the
+// line-offset bits (Figure 1 of the paper).
+func (g Geometry) Set(addr uint64) int {
+	return int((addr >> g.offsetBits) & g.setMask)
+}
+
+// Tag returns the tag bits of addr: everything above offset and index bits.
+func (g Geometry) Tag(addr uint64) uint64 {
+	return addr >> (g.offsetBits + g.setBits)
+}
+
+// Offset returns the byte offset of addr within its cache line.
+func (g Geometry) Offset(addr uint64) int { return int(addr & g.offsetMask) }
+
+// Compose rebuilds an address from a (tag, set, offset) triple. It is the
+// inverse of the Tag/Set/Offset decomposition and exists chiefly so tests can
+// assert the round-trip property.
+func (g Geometry) Compose(tag uint64, set, offset int) uint64 {
+	return tag<<(g.offsetBits+g.setBits) | uint64(set)<<g.offsetBits | uint64(offset)
+}
+
+// String implements fmt.Stringer, e.g. "32KiB 8-way, 64 sets x 64B lines".
+func (g Geometry) String() string {
+	return fmt.Sprintf("%s %d-way, %d sets x %dB lines", formatSize(g.Size()), g.Ways, g.Sets, g.LineSize)
+}
+
+func formatSize(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) uint {
+	var b uint
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryValidation(t *testing.T) {
+	cases := []struct {
+		line, sets, ways int
+		ok               bool
+	}{
+		{64, 64, 8, true},
+		{64, 1, 1, true},
+		{1, 1, 1, true},
+		{32, 512, 16, true},
+		{0, 64, 8, false},
+		{-64, 64, 8, false},
+		{63, 64, 8, false},
+		{64, 0, 8, false},
+		{64, 63, 8, false},
+		{64, 64, 0, false},
+		{64, 64, -1, false},
+	}
+	for _, c := range cases {
+		_, err := NewGeometry(c.line, c.sets, c.ways)
+		if (err == nil) != c.ok {
+			t.Errorf("NewGeometry(%d,%d,%d): err=%v, want ok=%v", c.line, c.sets, c.ways, err, c.ok)
+		}
+	}
+}
+
+func TestMustGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGeometry(63,64,8) did not panic")
+		}
+	}()
+	MustGeometry(63, 64, 8)
+}
+
+func TestGeometrySize(t *testing.T) {
+	g := MustGeometry(64, 64, 8)
+	if got := g.Size(); got != 32<<10 {
+		t.Errorf("Size() = %d, want %d", got, 32<<10)
+	}
+}
+
+func TestDecompositionKnownValues(t *testing.T) {
+	// 64B lines -> 6 offset bits; 64 sets -> 6 index bits.
+	g := MustGeometry(64, 64, 8)
+	cases := []struct {
+		addr   uint64
+		tag    uint64
+		set    int
+		offset int
+	}{
+		{0, 0, 0, 0},
+		{63, 0, 0, 63},
+		{64, 0, 1, 0},
+		{64*64 - 1, 0, 63, 63},
+		{64 * 64, 1, 0, 0},
+		{0xdeadbeef, 0xdead_beef >> 12, int((0xdeadbeef >> 6) & 63), 0xef & 63},
+	}
+	for _, c := range cases {
+		if got := g.Tag(c.addr); got != c.tag {
+			t.Errorf("Tag(%#x) = %#x, want %#x", c.addr, got, c.tag)
+		}
+		if got := g.Set(c.addr); got != c.set {
+			t.Errorf("Set(%#x) = %d, want %d", c.addr, got, c.set)
+		}
+		if got := g.Offset(c.addr); got != c.offset {
+			t.Errorf("Offset(%#x) = %d, want %d", c.addr, got, c.offset)
+		}
+	}
+}
+
+func TestLineAndLineNumber(t *testing.T) {
+	g := MustGeometry(64, 64, 8)
+	if got := g.Line(0x1234); got != 0x1200 {
+		t.Errorf("Line(0x1234) = %#x, want 0x1200", got)
+	}
+	if got := g.LineNumber(0x1234); got != 0x48 {
+		t.Errorf("LineNumber(0x1234) = %#x, want 0x48", got)
+	}
+}
+
+// Property: Compose is the exact inverse of (Tag, Set, Offset) for any
+// address, for several geometries.
+func TestDecomposeComposeRoundTrip(t *testing.T) {
+	geoms := []Geometry{
+		MustGeometry(64, 64, 8),
+		MustGeometry(32, 128, 4),
+		MustGeometry(64, 512, 8),
+		MustGeometry(128, 1024, 16),
+	}
+	for _, g := range geoms {
+		f := func(addr uint64) bool {
+			return g.Compose(g.Tag(addr), g.Set(addr), g.Offset(addr)) == addr
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("geometry %v: round trip failed: %v", g, err)
+		}
+	}
+}
+
+// Property: consecutive lines map to consecutive sets (mod Sets), the fact
+// Figure 2's row-to-set mapping relies on.
+func TestConsecutiveLinesWalkSets(t *testing.T) {
+	g := MustGeometry(64, 64, 8)
+	f := func(base uint64) bool {
+		base = g.Line(base)
+		s0 := g.Set(base)
+		s1 := g.Set(base + uint64(g.LineSize))
+		return s1 == (s0+1)%g.Sets
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: addresses within one line share tag and set.
+func TestSameLineSameSet(t *testing.T) {
+	g := MustGeometry(64, 64, 8)
+	f := func(addr uint64, off uint8) bool {
+		a := g.Line(addr) + uint64(off)%uint64(g.LineSize)
+		return g.Set(a) == g.Set(g.Line(addr)) && g.Tag(a) == g.Tag(g.Line(addr))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometryString(t *testing.T) {
+	g := MustGeometry(64, 64, 8)
+	s := g.String()
+	for _, want := range []string{"32KiB", "8-way", "64 sets", "64B lines"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestMachineConfigs(t *testing.T) {
+	b, s := Broadwell(), Skylake()
+	if b.L1.Size() != 32<<10 || s.L1.Size() != 32<<10 {
+		t.Errorf("L1 sizes: broadwell=%d skylake=%d, want 32768", b.L1.Size(), s.L1.Size())
+	}
+	if b.L2.Size() != 256<<10 || s.L2.Size() != 256<<10 {
+		t.Errorf("L2 sizes: broadwell=%d skylake=%d, want 262144", b.L2.Size(), s.L2.Size())
+	}
+	if b.Threads != 28 || s.Threads != 8 {
+		t.Errorf("threads: broadwell=%d skylake=%d, want 28/8", b.Threads, s.Threads)
+	}
+	if b.LLC.Size() <= s.LLC.Size() {
+		t.Errorf("broadwell LLC (%d) should exceed skylake LLC (%d)", b.LLC.Size(), s.LLC.Size())
+	}
+	if got := L1Default(); got.Sets != 64 || got.Ways != 8 || got.LineSize != 64 {
+		t.Errorf("L1Default() = %v, want 64 sets x 8 ways x 64B", got)
+	}
+}
+
+func TestLatencyCost(t *testing.T) {
+	l := Latency{L1Hit: 4, L2Hit: 12, LLCHit: 40, Memory: 200}
+	want := []int{4, 12, 40, 200, 200}
+	for level, w := range want {
+		if got := l.Cost(level); got != w {
+			t.Errorf("Cost(%d) = %d, want %d", level, got, w)
+		}
+	}
+}
+
+func BenchmarkSetExtraction(b *testing.B) {
+	g := MustGeometry(64, 64, 8)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += g.Set(uint64(i) * 64)
+	}
+	_ = sink
+}

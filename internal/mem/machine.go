@@ -1,0 +1,80 @@
+package mem
+
+import "fmt"
+
+// Latency holds the fixed access latencies (in CPU cycles) used by the cycle
+// cost model when estimating speedups (Table 3). The values are conventional
+// figures for the evaluated Intel parts; only ratios matter for the
+// reproduced "who wins, by roughly what factor" comparisons.
+type Latency struct {
+	L1Hit  int // cycles for an L1 hit
+	L2Hit  int // cycles for a hit in L2 (after an L1 miss)
+	LLCHit int // cycles for a hit in the last-level cache
+	Memory int // cycles for a main-memory access
+}
+
+// Cost returns the cycle cost of an access serviced at the given level:
+// 0 = L1 hit, 1 = L2 hit, 2 = LLC hit, 3 = memory.
+func (l Latency) Cost(level int) int {
+	switch level {
+	case 0:
+		return l.L1Hit
+	case 1:
+		return l.L2Hit
+	case 2:
+		return l.LLCHit
+	default:
+		return l.Memory
+	}
+}
+
+// Machine describes one evaluation platform: the cache hierarchy geometry of
+// a single core (private L1 and L2), the shared last-level cache, the number
+// of hardware threads used when running the parallel experiments, and the
+// latency model.
+//
+// The paper evaluates on an Intel Broadwell Xeon E7-4830v4 and an Intel
+// Skylake Xeon E3-1240v5; Broadwell and Skylake reproduce those two
+// configurations.
+type Machine struct {
+	Name    string
+	L1      Geometry // private, per core
+	L2      Geometry // private, per core
+	LLC     Geometry // shared
+	Threads int      // hardware threads used in the parallel runs
+	Lat     Latency
+}
+
+func (m Machine) String() string {
+	return fmt.Sprintf("%s: L1[%s] L2[%s] LLC[%s] %d threads", m.Name, m.L1, m.L2, m.LLC, m.Threads)
+}
+
+// Broadwell models the paper's 2.00GHz Xeon E7-4830v4 node: 32KB 8-way L1,
+// 256KB 8-way L2 per core, 35MB shared LLC, 14 cores x 2 SMT = 28 threads.
+func Broadwell() Machine {
+	return Machine{
+		Name:    "Intel Broadwell (E7-4830v4)",
+		L1:      MustGeometry(64, 64, 8),     // 32 KiB
+		L2:      MustGeometry(64, 512, 8),    // 256 KiB
+		LLC:     MustGeometry(64, 32768, 16), // 32 MiB (paper: 35MB; nearest pow-2 geometry)
+		Threads: 28,
+		Lat:     Latency{L1Hit: 4, L2Hit: 12, LLCHit: 40, Memory: 200},
+	}
+}
+
+// Skylake models the paper's 3.50GHz Xeon E3-1240v5 node: 32KB 8-way L1,
+// 256KB 8-way L2 per core, 8MB shared LLC, 4 cores x 2 SMT = 8 threads.
+func Skylake() Machine {
+	return Machine{
+		Name:    "Intel Skylake (E3-1240v5)",
+		L1:      MustGeometry(64, 64, 8),    // 32 KiB
+		L2:      MustGeometry(64, 512, 8),   // 256 KiB
+		LLC:     MustGeometry(64, 8192, 16), // 8 MiB
+		Threads: 8,
+		Lat:     Latency{L1Hit: 4, L2Hit: 12, LLCHit: 34, Memory: 170},
+	}
+}
+
+// L1Default returns the L1 geometry used throughout the paper's evaluation:
+// 8-way set-associative with 64 sets and 64-byte lines (32 KiB).
+func L1Default() Geometry { return MustGeometry(64, 64, 8) }

@@ -1,0 +1,126 @@
+package objfile
+
+import "fmt"
+
+// BaseText is the address of the first instruction in every built binary,
+// mimicking a conventional text-segment base.
+const BaseText = 0x40_0000
+
+// Builder assembles a Binary the way a compiler lowers structured code:
+// instructions are appended at consecutive addresses, and Loop/EndLoop pairs
+// emit the conditional back edges that the CFG analysis later re-discovers
+// as natural loops.
+//
+// Builder methods panic on structural misuse (unclosed loops, EndLoop
+// without Loop); workload construction is programmer-controlled, so misuse
+// is a bug, not an input error.
+type Builder struct {
+	bin   Binary
+	next  uint64
+	loops []loopFrame
+	fn    int // index into bin.Funcs of open function, -1 if none
+}
+
+type loopFrame struct {
+	headerAddr uint64
+	loc        SourceLoc
+}
+
+// NewBuilder returns a Builder for a binary with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		bin:  Binary{Name: name, lines: make(map[uint64]SourceLoc)},
+		next: BaseText,
+		fn:   -1,
+	}
+}
+
+func (b *Builder) emit(kind Kind, target uint64, loc SourceLoc) uint64 {
+	addr := b.next
+	b.bin.Instrs = append(b.bin.Instrs, Instruction{Addr: addr, Kind: kind, Target: target})
+	if !loc.IsZero() {
+		b.bin.lines[addr] = loc
+	}
+	b.next += InstrSize
+	return addr
+}
+
+// Func opens a new function. Any previously open function is closed first.
+func (b *Builder) Func(name string) {
+	b.endFunc()
+	b.bin.Funcs = append(b.bin.Funcs, Func{Name: name, Start: b.next})
+	b.fn = len(b.bin.Funcs) - 1
+}
+
+// endFunc terminates the open function with a Ret (if it does not already
+// end in one) and records its extent.
+func (b *Builder) endFunc() {
+	if b.fn < 0 {
+		return
+	}
+	f := &b.bin.Funcs[b.fn]
+	if n := len(b.bin.Instrs); n == 0 || b.bin.Instrs[n-1].Kind != Ret || b.bin.Instrs[n-1].Addr < f.Start {
+		b.emit(Ret, 0, SourceLoc{})
+	}
+	f.End = b.next
+	b.fn = -1
+}
+
+// Loop opens a loop whose header is attributed to file:line. The returned
+// address is the loop-header instruction (the paper names loops by such
+// source coordinates, e.g. "needle.cpp:189").
+func (b *Builder) Loop(file string, line int) uint64 {
+	loc := SourceLoc{File: file, Line: line}
+	// The header is a plain op (e.g. the induction-variable compare).
+	h := b.emit(Op, 0, loc)
+	b.loops = append(b.loops, loopFrame{headerAddr: h, loc: loc})
+	return h
+}
+
+// EndLoop closes the innermost open loop by emitting the conditional branch
+// back to its header.
+func (b *Builder) EndLoop() {
+	if len(b.loops) == 0 {
+		panic("objfile: EndLoop without matching Loop")
+	}
+	fr := b.loops[len(b.loops)-1]
+	b.loops = b.loops[:len(b.loops)-1]
+	b.emit(CondBranch, fr.headerAddr, fr.loc)
+}
+
+// Load emits a load instruction attributed to file:line and returns its
+// address, which the workload uses as the Ref.IP of the corresponding
+// memory accesses.
+func (b *Builder) Load(file string, line int) uint64 {
+	return b.emit(Load, 0, SourceLoc{File: file, Line: line})
+}
+
+// Store emits a store instruction attributed to file:line.
+func (b *Builder) Store(file string, line int) uint64 {
+	return b.emit(Store, 0, SourceLoc{File: file, Line: line})
+}
+
+// Op emits a non-memory instruction attributed to file:line.
+func (b *Builder) Op(file string, line int) uint64 {
+	return b.emit(Op, 0, SourceLoc{File: file, Line: line})
+}
+
+// Call emits a call instruction (modelled as falling through).
+func (b *Builder) Call(file string, line int) uint64 {
+	return b.emit(Call, 0, SourceLoc{File: file, Line: line})
+}
+
+// Finish closes any open function (terminating it with a Ret) and returns
+// the completed binary. It panics if a loop is still open.
+func (b *Builder) Finish() *Binary {
+	if len(b.loops) != 0 {
+		panic(fmt.Sprintf("objfile: %d unclosed loops at Finish", len(b.loops)))
+	}
+	if b.fn >= 0 {
+		b.endFunc()
+	} else {
+		b.emit(Ret, 0, SourceLoc{})
+	}
+	bin := b.bin
+	return &bin
+}

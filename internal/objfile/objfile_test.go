@@ -1,0 +1,195 @@
+package objfile
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildDoubleLoop builds:
+//
+//	func main:
+//	  loop L1 (f.c:10)
+//	    load (f.c:11)
+//	    loop L2 (f.c:12)
+//	      load (f.c:13)
+//	      store (f.c:14)
+//	    end L2
+//	  end L1
+func buildDoubleLoop(t *testing.T) (*Binary, map[string]uint64) {
+	t.Helper()
+	b := NewBuilder("test")
+	ips := map[string]uint64{}
+	b.Func("main")
+	ips["l1"] = b.Loop("f.c", 10)
+	ips["ld1"] = b.Load("f.c", 11)
+	ips["l2"] = b.Loop("f.c", 12)
+	ips["ld2"] = b.Load("f.c", 13)
+	ips["st"] = b.Store("f.c", 14)
+	b.EndLoop()
+	b.EndLoop()
+	bin := b.Finish()
+	if err := bin.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return bin, ips
+}
+
+func TestBuilderProducesContiguousInstrs(t *testing.T) {
+	bin, _ := buildDoubleLoop(t)
+	if len(bin.Instrs) != 8 { // 2 headers + 3 mem + 2 backedges + ret
+		t.Fatalf("instr count = %d, want 8", len(bin.Instrs))
+	}
+	if bin.Instrs[0].Addr != BaseText {
+		t.Errorf("first addr = %#x, want %#x", bin.Instrs[0].Addr, uint64(BaseText))
+	}
+	for i := 1; i < len(bin.Instrs); i++ {
+		if bin.Instrs[i].Addr != bin.Instrs[i-1].Addr+InstrSize {
+			t.Fatalf("instr %d not contiguous", i)
+		}
+	}
+}
+
+func TestBackEdgesTargetHeaders(t *testing.T) {
+	bin, ips := buildDoubleLoop(t)
+	var backs []Instruction
+	for _, in := range bin.Instrs {
+		if in.Kind == CondBranch {
+			backs = append(backs, in)
+		}
+	}
+	if len(backs) != 2 {
+		t.Fatalf("back edge count = %d, want 2", len(backs))
+	}
+	// Inner loop closes first.
+	if backs[0].Target != ips["l2"] {
+		t.Errorf("inner back edge targets %#x, want %#x", backs[0].Target, ips["l2"])
+	}
+	if backs[1].Target != ips["l1"] {
+		t.Errorf("outer back edge targets %#x, want %#x", backs[1].Target, ips["l1"])
+	}
+}
+
+func TestLineTable(t *testing.T) {
+	bin, ips := buildDoubleLoop(t)
+	cases := map[string]SourceLoc{
+		"l1":  {File: "f.c", Line: 10},
+		"ld1": {File: "f.c", Line: 11},
+		"l2":  {File: "f.c", Line: 12},
+		"ld2": {File: "f.c", Line: 13},
+		"st":  {File: "f.c", Line: 14},
+	}
+	for name, want := range cases {
+		if got := bin.LineFor(ips[name]); got != want {
+			t.Errorf("LineFor(%s) = %v, want %v", name, got, want)
+		}
+	}
+	if got := bin.LineFor(0xdead); !got.IsZero() {
+		t.Errorf("LineFor(unknown) = %v, want zero", got)
+	}
+}
+
+func TestInstrAt(t *testing.T) {
+	bin, ips := buildDoubleLoop(t)
+	in, ok := bin.InstrAt(ips["ld2"])
+	if !ok || in.Kind != Load {
+		t.Errorf("InstrAt(ld2) = %v, %v", in, ok)
+	}
+	if _, ok := bin.InstrAt(ips["ld2"] + 1); ok {
+		t.Error("InstrAt(misaligned) should miss")
+	}
+}
+
+func TestFuncFor(t *testing.T) {
+	bin, ips := buildDoubleLoop(t)
+	f, ok := bin.FuncFor(ips["st"])
+	if !ok || f.Name != "main" {
+		t.Errorf("FuncFor(st) = %v, %v", f, ok)
+	}
+	if _, ok := bin.FuncFor(BaseText - 4); ok {
+		t.Error("FuncFor(before text) should miss")
+	}
+}
+
+func TestMultipleFuncs(t *testing.T) {
+	b := NewBuilder("two")
+	b.Func("a")
+	b.Load("a.c", 1)
+	b.Func("b")
+	b.Store("b.c", 2)
+	bin := b.Finish()
+	if err := bin.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(bin.Funcs) != 2 {
+		t.Fatalf("func count = %d, want 2", len(bin.Funcs))
+	}
+	if bin.Funcs[0].End != bin.Funcs[1].Start {
+		t.Errorf("functions not adjacent: %+v", bin.Funcs)
+	}
+}
+
+func TestEndLoopWithoutLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndLoop without Loop should panic")
+		}
+	}()
+	NewBuilder("x").EndLoop()
+}
+
+func TestFinishWithOpenLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Finish with open loop should panic")
+		}
+	}()
+	b := NewBuilder("x")
+	b.Loop("f.c", 1)
+	b.Finish()
+}
+
+func TestValidateCatchesBadBranch(t *testing.T) {
+	bin := &Binary{
+		Name: "bad",
+		Instrs: []Instruction{
+			{Addr: BaseText, Kind: Branch, Target: 0x999999},
+		},
+		lines: map[uint64]SourceLoc{},
+	}
+	if err := bin.Validate(); err == nil {
+		t.Error("Validate should reject out-of-range branch target")
+	}
+}
+
+func TestValidateCatchesGap(t *testing.T) {
+	bin := &Binary{
+		Name: "gap",
+		Instrs: []Instruction{
+			{Addr: BaseText, Kind: Op},
+			{Addr: BaseText + 12, Kind: Op},
+		},
+	}
+	if err := bin.Validate(); err == nil {
+		t.Error("Validate should reject non-contiguous instructions")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := Load.String(); got != "load" {
+		t.Errorf("Load.String() = %q", got)
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+	in := Instruction{Addr: 0x10, Kind: Branch, Target: 0x20}
+	if got := in.String(); !strings.Contains(got, "jmp") || !strings.Contains(got, "0x20") {
+		t.Errorf("branch string = %q", got)
+	}
+	loc := SourceLoc{File: "a.c", Line: 3}
+	if loc.String() != "a.c:3" {
+		t.Errorf("loc string = %q", loc.String())
+	}
+	if (SourceLoc{}).String() != "??:0" {
+		t.Errorf("zero loc string = %q", SourceLoc{}.String())
+	}
+}

@@ -1,0 +1,201 @@
+// Package pmu simulates the performance-monitoring-unit address sampling
+// CCProf builds on.
+//
+// Real CCProf programs Intel PEBS to sample MEM_LOAD_UOPS_RETIRED:L1_MISS:
+// every Nth L1-miss event raises an interrupt delivering the precise
+// instruction pointer and effective data address of the missing access, and
+// the sample handler randomizes the next period. This package reproduces
+// that contract over a simulated core: the Sampler is a trace.Sink whose
+// private L1 model decides which references miss ("the hardware"), counts
+// miss events, and emits a lossy, period-randomized subsequence of them as
+// Samples. Everything downstream (RCD approximation, classification) sees
+// exactly the information a PEBS buffer would contain — no more.
+package pmu
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Sample is one address sample: the instruction pointer and effective data
+// address of a sampled L1-miss event, like a PEBS record.
+type Sample struct {
+	IP   uint64
+	Addr uint64
+}
+
+// PeriodDist draws successive sampling periods. The paper's sample handler
+// "randomly sets the next sampling period based on [a] given probability
+// distribution"; implementations here cover the ablation space.
+type PeriodDist interface {
+	// NextPeriod returns the number of events to skip before the next
+	// sample (>= 1).
+	NextPeriod(rng *rand.Rand) uint64
+	// Mean returns the mean sampling period, for reporting.
+	Mean() float64
+	fmt.Stringer
+}
+
+// Fixed samples every N events exactly.
+type Fixed uint64
+
+// NextPeriod implements PeriodDist.
+func (f Fixed) NextPeriod(*rand.Rand) uint64 {
+	if f < 1 {
+		return 1
+	}
+	return uint64(f)
+}
+
+// Mean implements PeriodDist.
+func (f Fixed) Mean() float64 { return float64(f) }
+
+func (f Fixed) String() string { return fmt.Sprintf("fixed(%d)", uint64(f)) }
+
+// Uniform draws periods uniformly from [Mean/2, 3*Mean/2], the default
+// randomization (it breaks phase-locking with periodic miss patterns while
+// keeping the configured mean).
+type Uniform uint64
+
+// NextPeriod implements PeriodDist.
+func (u Uniform) NextPeriod(rng *rand.Rand) uint64 {
+	m := uint64(u)
+	if m < 2 {
+		return 1
+	}
+	lo := m / 2
+	return lo + uint64(rng.Int63n(int64(m+1)))
+}
+
+// Mean implements PeriodDist.
+func (u Uniform) Mean() float64 { return float64(u) }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%d)", uint64(u)) }
+
+// Geometric draws periods geometrically with the given mean, modelling a
+// per-event sampling probability of 1/mean.
+type Geometric uint64
+
+// NextPeriod implements PeriodDist via inverse-CDF sampling of a geometric
+// distribution with per-event probability 1/Mean.
+func (g Geometric) NextPeriod(rng *rand.Rand) uint64 {
+	m := float64(g)
+	if m <= 1 {
+		return 1
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	n := math.Ceil(math.Log(u) / math.Log(1-1/m))
+	if n < 1 {
+		return 1
+	}
+	return uint64(n)
+}
+
+// Mean implements PeriodDist.
+func (g Geometric) Mean() float64 { return float64(g) }
+
+func (g Geometric) String() string { return fmt.Sprintf("geometric(%d)", uint64(g)) }
+
+// Config configures a Sampler.
+type Config struct {
+	Geom   mem.Geometry // geometry of the sampled (L1) cache
+	Period PeriodDist   // sampling period distribution
+	Seed   int64        // RNG seed for period randomization
+
+	// Burst enables bursty sampling (§5.2: CCProf "approximates the RCD
+	// measurement by bursty sampling"): each period expiry captures
+	// Burst consecutive miss events instead of one, so within-burst
+	// sample distances are exact miss distances. 0 or 1 disables bursts.
+	Burst int
+}
+
+// Sampler consumes a reference stream and produces address samples of
+// L1-miss events. It implements trace.Sink.
+type Sampler struct {
+	cfg   Config
+	l1    *cache.Cache
+	rng   *rand.Rand
+	next  uint64 // events remaining until the next sample (or burst)
+	burst int    // events remaining in the current burst
+
+	// Events counts every L1-miss event, sampled or not (the hardware
+	// counter value).
+	Events uint64
+	// Refs counts every reference observed.
+	Refs uint64
+	// Samples is the collected sample buffer.
+	Samples []Sample
+
+	// Handler, when non-nil, is invoked for each sample instead of
+	// appending to Samples (an "online" consumer).
+	Handler func(Sample)
+
+	count uint64 // samples taken, whether buffered or handled
+}
+
+// NewSampler returns a Sampler with the given configuration.
+func NewSampler(cfg Config) *Sampler {
+	if cfg.Period == nil {
+		cfg.Period = Uniform(DefaultPeriod)
+	}
+	s := &Sampler{
+		cfg: cfg,
+		l1:  cache.New(cfg.Geom, cache.LRU, nil),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.next = s.cfg.Period.NextPeriod(s.rng)
+	return s
+}
+
+// DefaultPeriod is the mean sampling period the paper recommends (§5.3):
+// F1 ≈ 0.83 at ~2.9x runtime overhead.
+const DefaultPeriod = 1212
+
+// Ref implements trace.Sink: it simulates the reference against the private
+// L1 and, on every period-th miss event, records a sample.
+func (s *Sampler) Ref(r trace.Ref) {
+	s.Refs++
+	if s.l1.Access(r.Addr).Hit {
+		return
+	}
+	s.Events++
+	if s.burst > 0 {
+		s.burst--
+		s.deliver(r)
+		return
+	}
+	s.next--
+	if s.next > 0 {
+		return
+	}
+	s.next = s.cfg.Period.NextPeriod(s.rng)
+	if s.cfg.Burst > 1 {
+		s.burst = s.cfg.Burst - 1
+	}
+	s.deliver(r)
+}
+
+func (s *Sampler) deliver(r trace.Ref) {
+	s.count++
+	sm := Sample{IP: r.IP, Addr: r.Addr}
+	if s.Handler != nil {
+		s.Handler(sm)
+	} else {
+		s.Samples = append(s.Samples, sm)
+	}
+}
+
+// SampleCount returns the number of samples taken so far, whether buffered
+// in Samples or delivered to Handler.
+func (s *Sampler) SampleCount() uint64 { return s.count }
+
+// MissRatio returns the L1 miss ratio the hardware observed.
+func (s *Sampler) MissRatio() float64 { return s.l1.MissRatio() }

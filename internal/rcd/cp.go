@@ -1,0 +1,83 @@
+package rcd
+
+import "repro/internal/stats"
+
+// CPTracker measures conflict periods (§3.3, Figure 6): the lengths of runs
+// of consecutive identical RCD values on a set. Long conflict periods mean
+// the miss pattern is stable long enough for a sampling period to catch it
+// (the CP > SP condition); workloads like HimenoBMT whose conflicts hop
+// between sets have short CPs and need high-frequency sampling.
+type CPTracker struct {
+	inner *Tracker
+
+	curRCD []int // current run's RCD per set; 0 = no run yet
+	curLen []int // current run length per set
+
+	periods stats.IntHist // completed run lengths, pooled over sets
+}
+
+// NewCP returns a conflict-period tracker over a fresh RCD tracker with the
+// given number of sets.
+func NewCP(sets int) *CPTracker {
+	return &CPTracker{
+		inner:  New(sets),
+		curRCD: make([]int, sets),
+		curLen: make([]int, sets),
+	}
+}
+
+// Observe records a miss on set, forwarding to the underlying RCD tracker.
+// It returns the RCD of the miss (or NoPrior).
+func (c *CPTracker) Observe(set int) int {
+	d := c.inner.Observe(set)
+	if d == NoPrior {
+		return d
+	}
+	switch {
+	case c.curLen[set] == 0:
+		c.curRCD[set], c.curLen[set] = d, 1
+	case c.curRCD[set] == d:
+		c.curLen[set]++
+	default:
+		c.periods.Add(c.curLen[set])
+		c.curRCD[set], c.curLen[set] = d, 1
+	}
+	return d
+}
+
+// BreakSequence forwards a sampling-burst boundary to the underlying RCD
+// tracker; open conflict-period runs stay open (a run may legitimately
+// span bursts when the same RCD value reappears).
+func (c *CPTracker) BreakSequence() { c.inner.BreakSequence() }
+
+// Flush closes all open runs. Call once at the end of a context before
+// reading Periods.
+func (c *CPTracker) Flush() {
+	for s := range c.curLen {
+		if c.curLen[s] > 0 {
+			c.periods.Add(c.curLen[s])
+			c.curLen[s] = 0
+			c.curRCD[s] = 0
+		}
+	}
+}
+
+// Periods returns the histogram of completed conflict-period lengths.
+func (c *CPTracker) Periods() *stats.IntHist { return &c.periods }
+
+// RCD returns the underlying RCD tracker.
+func (c *CPTracker) RCD() *Tracker { return c.inner }
+
+// MeanPeriod returns the mean conflict-period length of completed runs, or
+// 0 when none completed.
+func (c *CPTracker) MeanPeriod() float64 {
+	h := &c.periods
+	if h.Total() == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, v := range h.Values() {
+		sum += uint64(v) * h.Count(v)
+	}
+	return float64(sum) / float64(h.Total())
+}

@@ -1,0 +1,30 @@
+package rcd_test
+
+import (
+	"fmt"
+
+	"repro/internal/rcd"
+)
+
+// ExampleTracker illustrates Observations 2 and 3 of the paper: balanced
+// round-robin misses make every RCD equal the set count, while a hammered
+// victim set produces short RCDs and a high contribution factor.
+func ExampleTracker() {
+	balanced := rcd.New(64)
+	for round := 0; round < 10; round++ {
+		for s := 0; s < 64; s++ {
+			balanced.Observe(s) // round-robin: every RCD equals 64
+		}
+	}
+	conflict := rcd.New(64)
+	for i := 0; i < 640; i++ {
+		conflict.Observe(3) // one victim set: every RCD equals 1
+	}
+	fmt.Printf("balanced cf: %.2f\n", balanced.ContributionFactor(rcd.DefaultThreshold))
+	fmt.Printf("conflict cf: %.2f\n", conflict.ContributionFactor(rcd.DefaultThreshold))
+	fmt.Printf("conflict victim sets: %v\n", conflict.VictimSets(2))
+	// Output:
+	// balanced cf: 0.00
+	// conflict cf: 1.00
+	// conflict victim sets: [3]
+}

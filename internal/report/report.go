@@ -1,0 +1,163 @@
+// Package report renders analysis results and experiment outputs as text:
+// aligned tables (for the paper's Tables 2-4) and ASCII CDF series (for
+// Figures 7-9). All functions write to an io.Writer so commands can target
+// stdout or artifact files alike.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	seps := make([]string, len(t.headers))
+	for i, w := range widths {
+		seps[i] = strings.Repeat("-", w)
+	}
+	line(seps)
+	for _, r := range t.rows {
+		line(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one named CDF curve: (x, cumulative fraction) points.
+type Series struct {
+	Name   string
+	Points [][2]float64
+}
+
+// CDFChart renders several CDF curves as a fixed-grid ASCII chart plus a
+// value table, which is how the figure-reproducing benches print their
+// output.
+type CDFChart struct {
+	Title  string
+	XLabel string
+	Series []Series
+	// XMax clips the x axis; 0 auto-scales to the largest x.
+	XMax float64
+}
+
+// markers label the curves in drawing order.
+const markers = "*o+x@#%&"
+
+// Write renders the chart.
+func (c *CDFChart) Write(w io.Writer) error {
+	const width, height = 64, 16
+	xmax := c.XMax
+	if xmax == 0 {
+		for _, s := range c.Series {
+			for _, p := range s.Points {
+				if p[0] > xmax {
+					xmax = p[0]
+				}
+			}
+		}
+	}
+	if xmax == 0 {
+		xmax = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		// Step-plot the CDF: carry each cumulative value to the next x.
+		prevCol, prevRow := -1, -1
+		for _, p := range s.Points {
+			if p[0] > xmax {
+				break
+			}
+			col := int(p[0] / xmax * float64(width-1))
+			row := height - 1 - int(p[1]*float64(height-1))
+			if prevCol >= 0 {
+				for x := prevCol + 1; x < col; x++ {
+					grid[prevRow][x] = m
+				}
+			}
+			grid[row][col] = m
+			prevCol, prevRow = col, row
+		}
+		if prevCol >= 0 {
+			for x := prevCol + 1; x < width; x++ {
+				grid[prevRow][x] = m
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		y := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", y, row)
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "      0%s%.0f  (%s)\n", strings.Repeat(" ", width-6), xmax, c.XLabel)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "      %c = %s\n", markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Pct formats a fraction as a percentage string, e.g. 0.123 -> "12.3%".
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// Times formats an overhead/speedup factor, e.g. 2.93 -> "2.93x".
+func Times(f float64) string { return fmt.Sprintf("%.2fx", f) }

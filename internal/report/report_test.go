@@ -1,0 +1,104 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Demo", "Loop", "Contribution", "Sets")
+	tb.Row("needle.cpp:189", 0.2951, 64)
+	tb.Row("adi.c:8", 0.8, 41)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "needle.cpp:189") || !strings.Contains(lines[3], "0.30") {
+		t.Errorf("row formatting wrong: %q", lines[3])
+	}
+	// Columns aligned: the second column starts at the same offset in
+	// header and data rows.
+	hdrIdx := strings.Index(lines[1], "Contribution")
+	rowIdx := strings.Index(lines[3], "0.30")
+	if hdrIdx != rowIdx {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", hdrIdx, rowIdx, out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.Row("x")
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestCDFChartRendering(t *testing.T) {
+	ch := CDFChart{
+		Title:  "Fig",
+		XLabel: "RCD",
+		Series: []Series{
+			{Name: "conflict", Points: [][2]float64{{1, 0.5}, {2, 0.9}, {64, 1.0}}},
+			{Name: "clean", Points: [][2]float64{{64, 1.0}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := ch.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig", "RCD", "* = conflict", "o = clean", "1.00", "0.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCDFChartEmpty(t *testing.T) {
+	ch := CDFChart{Title: "empty", XLabel: "x"}
+	var buf bytes.Buffer
+	if err := ch.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty chart should still render axes")
+	}
+}
+
+func TestCDFChartClipping(t *testing.T) {
+	ch := CDFChart{
+		XLabel: "RCD",
+		XMax:   10,
+		Series: []Series{{Name: "s", Points: [][2]float64{{1, 0.1}, {100, 1.0}}}},
+	}
+	var buf bytes.Buffer
+	if err := ch.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10  (RCD)") {
+		t.Errorf("x axis not clipped to XMax:\n%s", buf.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.123); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Times(2.934); got != "2.93x" {
+		t.Errorf("Times = %q", got)
+	}
+}

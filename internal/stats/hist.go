@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IntHist is a sparse histogram over non-negative integer values, used for
+// per-set RCD distributions (Figure 5-b) and miss-per-set counts
+// (Figure 3-b). The zero value is ready to use.
+type IntHist struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// Add increments the count of value v by 1.
+func (h *IntHist) Add(v int) { h.AddN(v, 1) }
+
+// AddN increments the count of value v by n.
+func (h *IntHist) AddN(v int, n uint64) {
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+	}
+	h.counts[v] += n
+	h.total += n
+}
+
+// Count returns the number of observations of value v.
+func (h *IntHist) Count(v int) uint64 { return h.counts[v] }
+
+// Total returns the number of observations across all values.
+func (h *IntHist) Total() uint64 { return h.total }
+
+// Distinct returns the number of distinct values observed.
+func (h *IntHist) Distinct() int { return len(h.counts) }
+
+// Values returns the observed values in increasing order.
+func (h *IntHist) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// CumulativeAt returns the fraction of observations with value <= v.
+// It returns 0 for an empty histogram.
+func (h *IntHist) CumulativeAt(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var c uint64
+	for val, n := range h.counts {
+		if val <= v {
+			c += n
+		}
+	}
+	return float64(c) / float64(h.total)
+}
+
+// Max returns the largest observed value, or 0 for an empty histogram.
+func (h *IntHist) Max() int {
+	max := 0
+	for v := range h.counts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Merge adds all observations of other into h.
+func (h *IntHist) Merge(other *IntHist) {
+	for v, n := range other.counts {
+		h.AddN(v, n)
+	}
+}
+
+// CDFPoint is one point of a discrete cumulative distribution: the fraction
+// Cum of observations with value <= Value.
+type CDFPoint struct {
+	Value int
+	Cum   float64
+}
+
+// CDF returns the full cumulative distribution of the histogram as a series
+// of points in increasing Value order. The final point has Cum == 1 for any
+// non-empty histogram.
+func (h *IntHist) CDF() []CDFPoint {
+	if h.total == 0 {
+		return nil
+	}
+	vs := h.Values()
+	out := make([]CDFPoint, 0, len(vs))
+	var run uint64
+	for _, v := range vs {
+		run += h.counts[v]
+		out = append(out, CDFPoint{Value: v, Cum: float64(run) / float64(h.total)})
+	}
+	return out
+}
+
+// String renders a compact "value:count" summary for debugging.
+func (h *IntHist) String() string {
+	vs := h.Values()
+	s := "{"
+	for i, v := range vs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%d", v, h.counts[v])
+	}
+	return s + "}"
+}

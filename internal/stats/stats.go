@@ -1,0 +1,133 @@
+// Package stats provides the small statistical toolkit CCProf's analyses
+// rely on: histograms and CDFs over integer-valued metrics (RCD values),
+// binary-classification scoring (precision, recall, F1), k-fold splits for
+// cross-validation, and a deterministic RNG so every experiment is
+// reproducible run-to-run.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRand returns a deterministic pseudo-random source for experiments.
+// Every randomized component in this repository (sampling-period jitter,
+// k-fold shuffles, random replacement) draws from an explicitly seeded
+// source so published experiment outputs are exactly reproducible.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of xs (average of the two middle elements for
+// even lengths), or 0 for an empty slice. xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// GeoMean returns the geometric mean of xs; all values must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geometric mean of empty slice")
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean requires positive values, got %g", x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %g out of range [0,100]", p)
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Welford accumulates a running mean and variance without storing samples.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations so far.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	f := func(ips, addrs []uint64, writes []bool) bool {
+		n := len(ips)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		in := make([]Ref, n)
+		for i := 0; i < n; i++ {
+			in[i] = Ref{IP: ips[i], Addr: addrs[i], Write: writes[i]}
+		}
+		var buf bytes.Buffer
+		w := NewCompressedWriter(&buf)
+		for _, r := range in {
+			w.Ref(r)
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		var out []Ref
+		cnt, err := ReadAllCompressed(&buf, SinkFunc(func(r Ref) { out = append(out, r) }))
+		if err != nil || cnt != n {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressedEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCompressedWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReadAllCompressed(&buf, Discard)
+	if err != nil || n != 0 {
+		t.Errorf("n=%d err=%v", n, err)
+	}
+}
+
+func TestCompressedBadMagic(t *testing.T) {
+	if _, err := ReadAllCompressed(strings.NewReader("CCT1abcdef"), Discard); err == nil {
+		t.Error("plain-trace magic should be rejected by the compressed reader")
+	}
+}
+
+func TestCompressedTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCompressedWriter(&buf)
+	w.Ref(Ref{IP: 1 << 40, Addr: 1 << 50})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-varint: the addr varint is lost.
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadAllCompressed(bytes.NewReader(trunc), Discard); err == nil {
+		t.Error("truncated compressed trace should error")
+	}
+}
+
+// A realistic kernel trace (one hot IP, strided addresses) must compress
+// far below the flat 17-byte encoding.
+func TestCompressionRatioOnStridedTrace(t *testing.T) {
+	var refs []Ref
+	for i := 0; i < 10000; i++ {
+		refs = append(refs, Ref{IP: 0x401000, Addr: 0x10_0000 + uint64(i)*64})
+	}
+	var plain, comp bytes.Buffer
+	pw := NewWriter(&plain)
+	cw := NewCompressedWriter(&comp)
+	for _, r := range refs {
+		pw.Ref(r)
+		cw.Ref(r)
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len()*4 > plain.Len() {
+		t.Errorf("compressed %d bytes vs plain %d; want at least 4x smaller", comp.Len(), plain.Len())
+	}
+	// And it round-trips.
+	i := 0
+	if _, err := ReadAllCompressed(&comp, SinkFunc(func(r Ref) {
+		if r != refs[i] {
+			t.Fatalf("ref %d mismatch", i)
+		}
+		i++
+	})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), -1 << 62} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip of %d = %d", v, got)
+		}
+	}
+	// Small magnitudes map to small codes (the varint-friendliness).
+	if zigzag(-1) != 1 || zigzag(1) != 2 || zigzag(0) != 0 {
+		t.Error("zigzag code order wrong")
+	}
+}
+
+func BenchmarkCompressedWrite(b *testing.B) {
+	w := NewCompressedWriter(discardWriter{})
+	for i := 0; i < b.N; i++ {
+		w.Ref(Ref{IP: 0x401000, Addr: uint64(i) * 64})
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestReadAnySniffsBothFormats(t *testing.T) {
+	refs := []Ref{{IP: 1, Addr: 64}, {IP: 2, Addr: 128, Write: true}}
+	var plain, comp bytes.Buffer
+	pw := NewWriter(&plain)
+	cw := NewCompressedWriter(&comp)
+	for _, r := range refs {
+		pw.Ref(r)
+		cw.Ref(r)
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, buf := range []*bytes.Buffer{&plain, &comp} {
+		var got []Ref
+		n, err := ReadAny(buf, SinkFunc(func(r Ref) { got = append(got, r) }))
+		if err != nil || n != 2 {
+			t.Fatalf("ReadAny: n=%d err=%v", n, err)
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				t.Fatalf("ref %d mismatch", i)
+			}
+		}
+	}
+	if _, err := ReadAny(strings.NewReader("JUNKJUNK"), Discard); err == nil {
+		t.Error("junk magic should error")
+	}
+}

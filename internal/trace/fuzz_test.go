@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadAny hardens the trace parsers (both formats share the sniffing
+// entry point): arbitrary bytes must never panic, and whatever parses must
+// re-serialize to a stream that parses identically.
+func FuzzReadAny(f *testing.F) {
+	mk := func(compressed bool, refs ...Ref) []byte {
+		var buf bytes.Buffer
+		if compressed {
+			w := NewCompressedWriter(&buf)
+			for _, r := range refs {
+				w.Ref(r)
+			}
+			w.Close()
+		} else {
+			w := NewWriter(&buf)
+			for _, r := range refs {
+				w.Ref(r)
+			}
+			w.Close()
+		}
+		return buf.Bytes()
+	}
+	f.Add(mk(false, Ref{IP: 1, Addr: 64}, Ref{IP: 2, Addr: 128, Write: true}))
+	f.Add(mk(true, Ref{IP: 1, Addr: 64}, Ref{IP: 2, Addr: 128, Write: true}))
+	f.Add([]byte("CCT1"))
+	f.Add([]byte("CCTZ\x01\x02"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var first []Ref
+		n, err := ReadAny(bytes.NewReader(data), SinkFunc(func(r Ref) { first = append(first, r) }))
+		if err != nil {
+			return
+		}
+		if n != len(first) {
+			t.Fatalf("count mismatch: %d vs %d", n, len(first))
+		}
+		// Round-trip through the compressed encoder.
+		var buf bytes.Buffer
+		w := NewCompressedWriter(&buf)
+		for _, r := range first {
+			w.Ref(r)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var second []Ref
+		if _, err := ReadAny(&buf, SinkFunc(func(r Ref) { second = append(second, r) })); err != nil {
+			t.Fatalf("re-reading round-tripped trace: %v", err)
+		}
+		if len(second) != len(first) {
+			t.Fatalf("round trip changed count: %d vs %d", len(second), len(first))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("round trip changed ref %d", i)
+			}
+		}
+	})
+}

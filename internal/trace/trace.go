@@ -1,0 +1,230 @@
+// Package trace defines the memory-reference stream that connects workloads
+// to the cache simulator and the simulated PMU.
+//
+// A workload emits one Ref per dynamic memory access into a Sink. Sinks
+// compose: a counter, a recorder, a cache simulator, and a PMU sampler all
+// implement Sink, and Tee fans a stream out to several of them. Traces can
+// also be serialized to an io.Writer and replayed later, mirroring the
+// Pin-trace → Dinero IV flow the paper uses for its ground truth.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Ref is a single dynamic memory reference: the instruction pointer of the
+// access (a synthetic address in an objfile.Binary), the effective data
+// address, and whether the access is a store.
+type Ref struct {
+	IP    uint64
+	Addr  uint64
+	Write bool
+}
+
+func (r Ref) String() string {
+	k := "R"
+	if r.Write {
+		k = "W"
+	}
+	return fmt.Sprintf("%s ip=%#x addr=%#x", k, r.IP, r.Addr)
+}
+
+// Sink consumes a stream of memory references.
+type Sink interface {
+	Ref(Ref)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Ref)
+
+// Ref implements Sink by calling f.
+func (f SinkFunc) Ref(r Ref) { f(r) }
+
+// Discard is a Sink that drops every reference. It is useful for measuring
+// the bare cost of running a workload's loop nest (the "no profiling"
+// baseline in overhead experiments).
+var Discard Sink = SinkFunc(func(Ref) {})
+
+// Counter counts references flowing through it. The zero value is ready.
+type Counter struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Ref implements Sink.
+func (c *Counter) Ref(r Ref) {
+	if r.Write {
+		c.Writes++
+	} else {
+		c.Reads++
+	}
+}
+
+// Total returns reads + writes.
+func (c *Counter) Total() uint64 { return c.Reads + c.Writes }
+
+// Tee returns a Sink that forwards every reference to each of sinks in
+// order. A nil entry is skipped.
+func Tee(sinks ...Sink) Sink {
+	compact := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			compact = append(compact, s)
+		}
+	}
+	if len(compact) == 1 {
+		return compact[0]
+	}
+	return teeSink(compact)
+}
+
+type teeSink []Sink
+
+func (t teeSink) Ref(r Ref) {
+	for _, s := range t {
+		s.Ref(r)
+	}
+}
+
+// Recorder buffers the full reference stream in memory so it can be replayed
+// (e.g. once through the exact simulator and once through the sampler, as
+// the paper's accuracy study requires both views of the same execution).
+type Recorder struct {
+	Refs []Ref
+}
+
+// Ref implements Sink.
+func (rec *Recorder) Ref(r Ref) { rec.Refs = append(rec.Refs, r) }
+
+// Replay feeds the recorded stream into sink.
+func (rec *Recorder) Replay(sink Sink) {
+	for _, r := range rec.Refs {
+		sink.Ref(r)
+	}
+}
+
+// Len returns the number of recorded references.
+func (rec *Recorder) Len() int { return len(rec.Refs) }
+
+// Reset discards all recorded references but keeps the backing storage.
+func (rec *Recorder) Reset() { rec.Refs = rec.Refs[:0] }
+
+// Filter forwards only references satisfying Keep to Next.
+type Filter struct {
+	Keep func(Ref) bool
+	Next Sink
+}
+
+// Ref implements Sink.
+func (f Filter) Ref(r Ref) {
+	if f.Keep(r) {
+		f.Next.Ref(r)
+	}
+}
+
+// Limit forwards at most N references to Next, then drops the rest. It
+// models truncated trace collection.
+type Limit struct {
+	N    uint64
+	Next Sink
+
+	seen uint64
+}
+
+// Ref implements Sink.
+func (l *Limit) Ref(r Ref) {
+	if l.seen < l.N {
+		l.seen++
+		l.Next.Ref(r)
+	}
+}
+
+// traceMagic guards serialized trace files against misuse.
+var traceMagic = [4]byte{'C', 'C', 'T', '1'}
+
+var errBadMagic = errors.New("trace: bad magic; not a CCProf trace")
+
+// Writer serializes a reference stream to an io.Writer in a compact binary
+// format (magic, then 17 bytes per reference). Close flushes buffered data.
+type Writer struct {
+	bw    *bufio.Writer
+	err   error
+	wrote bool
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// Ref implements Sink; encoding errors are sticky and reported by Close.
+func (w *Writer) Ref(r Ref) {
+	if w.err != nil {
+		return
+	}
+	if !w.wrote {
+		if _, err := w.bw.Write(traceMagic[:]); err != nil {
+			w.err = err
+			return
+		}
+		w.wrote = true
+	}
+	var buf [17]byte
+	binary.LittleEndian.PutUint64(buf[0:8], r.IP)
+	binary.LittleEndian.PutUint64(buf[8:16], r.Addr)
+	if r.Write {
+		buf[16] = 1
+	}
+	if _, err := w.bw.Write(buf[:]); err != nil {
+		w.err = err
+	}
+}
+
+// Close flushes the stream and returns the first error encountered, if any.
+// Closing an empty writer still emits the header so the file is readable.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.wrote {
+		if _, err := w.bw.Write(traceMagic[:]); err != nil {
+			return err
+		}
+		w.wrote = true
+	}
+	return w.bw.Flush()
+}
+
+// ReadAll replays a serialized trace from r into sink and returns the number
+// of references replayed.
+func ReadAll(r io.Reader, sink Sink) (int, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if magic != traceMagic {
+		return 0, errBadMagic
+	}
+	var buf [17]byte
+	n := 0
+	for {
+		_, err := io.ReadFull(br, buf[:])
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("trace: reading ref %d: %w", n, err)
+		}
+		sink.Ref(Ref{
+			IP:    binary.LittleEndian.Uint64(buf[0:8]),
+			Addr:  binary.LittleEndian.Uint64(buf[8:16]),
+			Write: buf[16] != 0,
+		})
+		n++
+	}
+}

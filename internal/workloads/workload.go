@@ -1,0 +1,155 @@
+// Package workloads implements every kernel the paper evaluates, as
+// address-trace generators.
+//
+// Each workload is a Program: a synthetic binary (so the offline analyzer
+// can recover its loop nest), an allocation arena (so data-centric
+// attribution can name its arrays), and a run function that walks the same
+// loop nest over the same data layout as the original C code, emitting one
+// trace.Ref per memory access. Cache-conflict behaviour is a function of
+// the address sequence alone, so these generators reproduce the paper's
+// conflict phenomena exactly, at laptop scale.
+//
+// The six case studies (§6) come in Original/Optimized pairs where the
+// optimized variant applies the paper's fix — row padding, or loop
+// interchange for Kripke. The remaining Rodinia-style kernels exist for the
+// Figure 7 sweep and are conflict-free by construction, as the paper found.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/objfile"
+	"repro/internal/trace"
+)
+
+// Program is one runnable kernel variant.
+type Program struct {
+	// Name identifies the variant, e.g. "nw" or "nw-padded".
+	Name string
+	// Binary is the synthetic executable; the analyzer recovers loops
+	// from it.
+	Binary *objfile.Binary
+	// Arena is the allocation log for data-centric attribution.
+	Arena *alloc.Arena
+
+	// runThread emits the references of one thread's partition of the
+	// work. Sequential kernels emit everything on thread 0.
+	runThread func(tid, threads int, sink trace.Sink)
+
+	// Check, when non-nil, returns a checksum of the kernel's computed
+	// output after a sequential Run. The kernels compute their real
+	// results (alignment scores, transforms, stencil values) alongside
+	// address emission; multi-threaded runs emit addresses only, so
+	// Check is meaningful only after Run (threads == 1).
+	Check func() float64
+}
+
+// NewProgram assembles a Program from its parts. run receives the thread id
+// and thread count and must emit that thread's partition of the work; it is
+// how user code (see examples/custom-workload) plugs its own kernels into
+// the profiler.
+func NewProgram(name string, bin *objfile.Binary, ar *alloc.Arena,
+	run func(tid, threads int, sink trace.Sink)) *Program {
+	if bin == nil || ar == nil || run == nil {
+		panic("workloads: NewProgram with nil component")
+	}
+	return &Program{Name: name, Binary: bin, Arena: ar, runThread: run}
+}
+
+// Run emits the full sequential reference stream.
+func (p *Program) Run(sink trace.Sink) { p.runThread(0, 1, sink) }
+
+// RunThread emits the reference stream of thread tid out of threads.
+// Threads partition the kernel's outermost parallel dimension; a thread
+// with no work emits nothing.
+func (p *Program) RunThread(tid, threads int, sink trace.Sink) {
+	if threads < 1 {
+		threads = 1
+	}
+	if tid < 0 || tid >= threads {
+		panic(fmt.Sprintf("workloads: thread %d out of range [0,%d)", tid, threads))
+	}
+	p.runThread(tid, threads, sink)
+}
+
+// Record runs the program sequentially into a Recorder and returns it.
+func (p *Program) Record() *trace.Recorder {
+	var rec trace.Recorder
+	p.Run(&rec)
+	return &rec
+}
+
+// CaseStudy pairs the original and optimized variants of one paper case
+// study (Table 2 / Table 3 / Figure 9).
+type CaseStudy struct {
+	Name      string // paper name, e.g. "NW", "ADI"
+	Desc      string // one-line description
+	Original  *Program
+	Optimized *Program
+	// TargetLoop is the source location of the loop the paper analyzes,
+	// as reported by code-centric attribution (e.g. "needle.cpp:189").
+	TargetLoop string
+	// Parallel reports whether the paper runs this case multi-threaded in
+	// Table 3 (ADI is "(sequential)").
+	Parallel bool
+	// ProfilePeriod is the mean sampling period needed to detect this
+	// case's conflicts: 171 for most, but workloads whose conflict
+	// period is short (HimenoBMT, §6.6) need high-frequency sampling.
+	ProfilePeriod uint64
+}
+
+// span splits [0, n) into `threads` nearly equal chunks and returns chunk
+// tid as [lo, hi). It is the partitioning every parallel kernel uses.
+func span(n, tid, threads int) (lo, hi int) {
+	chunk := n / threads
+	rem := n % threads
+	lo = tid*chunk + min(tid, rem)
+	hi = lo + chunk
+	if tid < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// registry of all workloads, populated by the constructors below.
+
+// Builder constructs a fresh CaseStudy at default scale.
+type Builder func() *CaseStudy
+
+var registry = map[string]Builder{}
+
+func register(name string, b Builder) {
+	if _, dup := registry[name]; dup {
+		panic("workloads: duplicate registration of " + name)
+	}
+	registry[name] = b
+}
+
+// Get builds the named case study at default scale. It returns an error
+// listing available names on a miss.
+func Get(name string) (*CaseStudy, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (available: %v)", name, Names())
+	}
+	return b(), nil
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
