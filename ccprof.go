@@ -37,6 +37,7 @@ import (
 	"repro/internal/objfile"
 	"repro/internal/pmu"
 	"repro/internal/report"
+	"repro/internal/staticconf"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -82,6 +83,17 @@ type (
 	Arena = alloc.Arena
 	// Logistic is the conflict classifier model.
 	Logistic = classify.Logistic
+	// AccessSpec declares a loop's affine accesses for static conflict
+	// analysis (no execution needed).
+	AccessSpec = staticconf.Spec
+	// Access is one affine access stream within an AccessSpec.
+	Access = staticconf.Access
+	// AccessDim is one loop dimension of an Access (stride and trip).
+	AccessDim = staticconf.Dim
+	// StaticOptions configures the static analyzer.
+	StaticOptions = staticconf.Options
+	// StaticReport is the static analyzer's verdict for one spec.
+	StaticReport = staticconf.Report
 )
 
 // ProfileProgram runs the workload under the simulated PMU (the online
@@ -235,4 +247,26 @@ func RecommendPad(build func(pad uint64) *Program, opts advisor.Options) (adviso
 // through a simulated page table, analyzed over physical set indices.
 func ProfileL2(p *Program, opts core.L2ProfileOptions) (*core.L2Analysis, error) {
 	return core.ProfileL2(p, opts)
+}
+
+// AnalyzeStatic predicts a kernel's cache-set conflicts from its affine
+// access spec alone — per-access set footprints, window demand, and a
+// conflict verdict — without running or simulating the kernel. The zero
+// geometry selects L1Default; see internal/staticconf for the model.
+func AnalyzeStatic(spec *AccessSpec, g Geometry, opts StaticOptions) (*StaticReport, error) {
+	if g.Sets == 0 {
+		g = mem.L1Default()
+	}
+	return staticconf.Analyze(spec, g, opts)
+}
+
+// MinimalPad returns the smallest row pad the static analyzer declares
+// conflict-free, scanning pads in Quantum steps — the closed-form
+// companion to RecommendPad, which the advisor's StaticFirst mode uses to
+// prune its simulation sweep.
+func MinimalPad(build func(pad uint64) *AccessSpec, g Geometry, opts staticconf.PadOptions) (*staticconf.PadResult, error) {
+	if g.Sets == 0 {
+		g = mem.L1Default()
+	}
+	return staticconf.MinimalPad(build, g, opts)
 }

@@ -14,6 +14,7 @@
 //	ccprof adi                    # profile PolyBench ADI, report conflicts
 //	ccprof -variant optimized adi # confirm padding removed the conflicts
 //	ccprof -period 31 himeno      # short conflict periods need fast sampling
+//	ccprof -static adi            # static affine verdict next to the dynamic one
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 		analyzeIn  = flag.String("analyze", "", "skip profiling; analyze this saved profile file")
 		jsonOut    = flag.Bool("json", false, "emit the analysis as JSON instead of text")
 		compare    = flag.Bool("compare", false, "profile both variants and compare verdicts")
+		static     = flag.Bool("static", false, "also print the static affine conflict analysis (no execution)")
 		l2         = flag.Bool("l2", false, "physically-indexed L2 profiling (the footnote-1 extension)")
 		pagePolicy = flag.String("page-policy", "identity", "L2 mode: identity, sequential, or random frame allocation")
 	)
@@ -68,6 +70,20 @@ func main() {
 	cs, err := ccprof.Workload(flag.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+
+	if *static {
+		progs := []*ccprof.Program{cs.Original}
+		if *compare {
+			progs = append(progs, cs.Optimized)
+		} else if *variant == "optimized" {
+			progs[0] = cs.Optimized
+		}
+		for _, p := range progs {
+			if err := printStatic(p); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	if *compare {
@@ -241,6 +257,26 @@ func profileL2(prog *ccprof.Program, cs *ccprof.CaseStudy, period uint64, seed i
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// printStatic runs the static affine analyzer on the workload's declared
+// access spec and prints its report ahead of the dynamic one, so the two
+// verdicts can be compared side by side.
+func printStatic(prog *ccprof.Program) error {
+	if prog.Spec == nil {
+		fmt.Printf("static analysis: %s declares no access spec (data-dependent kernel)\n\n", prog.Name)
+		return nil
+	}
+	rep, err := ccprof.AnalyzeStatic(prog.Spec, ccprof.L1Default(), ccprof.StaticOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("static analysis of %s (no execution):\n", prog.Name)
+	if err := rep.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -9,10 +9,12 @@ package advisor
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/rcd"
+	"repro/internal/staticconf"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -30,14 +32,18 @@ type Candidate struct {
 
 // Result is the advisor's recommendation.
 type Result struct {
-	// Best is the recommended candidate: the smallest pad whose miss
-	// count is within Tolerance of the global minimum (smaller pads
-	// waste less memory).
+	// Best is the recommended candidate: among the candidates whose
+	// exact CF is below ConflictCF (all candidates when none qualifies),
+	// the smallest pad within Tolerance of the minimum cycle cost
+	// (smaller pads waste less memory).
 	Best Candidate
 	// Baseline is the pad-0 candidate, for comparison.
 	Baseline Candidate
 	// Candidates lists every evaluated pad in evaluation order.
 	Candidates []Candidate
+	// Pruned lists the pads the static analyzer ruled out without
+	// simulation (StaticFirst runs only; nil otherwise).
+	Pruned []uint64
 }
 
 // Improvement returns the cycle reduction of Best over Baseline, in [0, 1].
@@ -58,6 +64,27 @@ type Options struct {
 	Tolerance float64
 	// MaxRefs caps the simulated references per candidate (0 = all).
 	MaxRefs uint64
+	// ConflictCF is the exact short-RCD contribution factor at or above
+	// which a simulated candidate still counts as conflicted. The
+	// recommendation prefers candidates below it — the advisor's job is
+	// to remove the conflict signature, not merely to shave cycles (a
+	// pad can score well on cycles because its extra L1 conflict misses
+	// hit in L2). 0 selects 0.25; 1 or more ranks on cycles alone.
+	ConflictCF float64
+	// StaticFirst prunes the candidate list with the static analyzer
+	// before any cache simulation runs: only pad 0, pads whose spec is
+	// unavailable, and the StaticKeep smallest statically-clean pads are
+	// simulated. If the analyzer clears no pad at all, the advisor falls
+	// back to the full sweep — the static model abstains rather than
+	// blocking the search.
+	StaticFirst bool
+	// Spec builds the kernel's static access spec at a candidate pad
+	// (typically CaseStudy.SpecBuilder()). nil disables pruning even
+	// when StaticFirst is set.
+	Spec func(pad uint64) *staticconf.Spec
+	// StaticKeep is how many statically-clean pads survive pruning;
+	// 0 selects 4.
+	StaticKeep int
 }
 
 // DefaultPads covers the pad sizes the paper's case studies use (32, 64,
@@ -88,6 +115,10 @@ func RecommendPad(build func(pad uint64) *workloads.Program, opts Options) (Resu
 	}
 
 	var res Result
+	if opts.StaticFirst && opts.Spec != nil {
+		pads, res.Pruned = staticPrune(pads, opts, geom)
+	}
+
 	seen := map[uint64]bool{}
 	haveBaseline := false
 	for _, pad := range pads {
@@ -111,18 +142,34 @@ func RecommendPad(build func(pad uint64) *workloads.Program, opts Options) (Resu
 		res.Baseline = res.Candidates[0]
 	}
 
-	// The recommendation: smallest pad within tolerance of the minimum
-	// cycle cost (smaller pads waste less memory).
-	min := res.Candidates[0].Cycles
+	// The recommendation: among candidates that actually remove the
+	// conflict signature (exact CF below the threshold), the smallest
+	// pad within tolerance of the minimum cycle cost. When no candidate
+	// clears the threshold — some layouts cannot be fixed by padding at
+	// all — fall back to ranking every candidate on cycles.
+	cfLimit := opts.ConflictCF
+	if cfLimit == 0 {
+		cfLimit = 0.25
+	}
+	pool := res.Candidates[:0:0]
 	for _, c := range res.Candidates {
+		if c.CF < cfLimit {
+			pool = append(pool, c)
+		}
+	}
+	if len(pool) == 0 {
+		pool = res.Candidates
+	}
+	min := pool[0].Cycles
+	for _, c := range pool {
 		if c.Cycles < min {
 			min = c.Cycles
 		}
 	}
 	limit := uint64(float64(min) * (1 + tol))
-	best := res.Candidates[0]
+	best := pool[0]
 	found := false
-	for _, c := range res.Candidates {
+	for _, c := range pool {
 		if c.Cycles > limit {
 			continue
 		}
@@ -133,6 +180,46 @@ func RecommendPad(build func(pad uint64) *workloads.Program, opts Options) (Resu
 	}
 	res.Best = best
 	return res, nil
+}
+
+// staticPrune keeps pad 0, pads without a spec, and the StaticKeep
+// smallest pads the static analyzer declares clean; everything else is
+// returned as pruned. If no pad at all comes back clean the static model
+// has nothing useful to say and the full candidate list survives.
+func staticPrune(pads []uint64, opts Options, geom mem.Geometry) (kept, pruned []uint64) {
+	keep := opts.StaticKeep
+	if keep == 0 {
+		keep = 4
+	}
+	sorted := append([]uint64(nil), pads...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	clean := 0
+	for _, pad := range sorted {
+		if pad == 0 {
+			kept = append(kept, pad)
+			continue
+		}
+		sp := opts.Spec(pad)
+		if sp == nil {
+			kept = append(kept, pad)
+			continue
+		}
+		r, err := staticconf.Analyze(sp, geom, staticconf.Options{})
+		if err != nil {
+			kept = append(kept, pad)
+			continue
+		}
+		if !r.Conflict && clean < keep {
+			kept = append(kept, pad)
+			clean++
+			continue
+		}
+		pruned = append(pruned, pad)
+	}
+	if clean == 0 {
+		return pads, nil
+	}
+	return kept, pruned
 }
 
 func evaluate(p *workloads.Program, geom mem.Geometry, maxRefs uint64) Candidate {

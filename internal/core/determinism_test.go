@@ -1,0 +1,53 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/workloads"
+)
+
+// TestDeterministicProfileAndAnalysis pins the property every experiment
+// and the advisor's candidate ranking rely on: the same workload profiled
+// twice with the same seed yields byte-identical serialized profiles and
+// byte-identical analysis reports. A regression here (map iteration order,
+// a timestamp, an unseeded RNG) silently destroys reproducibility.
+func TestDeterministicProfileAndAnalysis(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		cs := workloads.NewTinyDNN(64, 512, 1)
+		p := cs.Original
+		prof, err := ProfileProgram(p, ProfileOptions{
+			Period: pmu.Uniform(171),
+			Seed:   42,
+			NoTime: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rawProf bytes.Buffer
+		if _, err := prof.WriteTo(&rawProf); err != nil {
+			t.Fatal(err)
+		}
+		an, err := Analyze(prof, p.Binary, p.Arena, AnalyzeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawAn, err := json.Marshal(an)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rawProf.Bytes(), rawAn
+	}
+
+	prof1, an1 := run()
+	prof2, an2 := run()
+	if !bytes.Equal(prof1, prof2) {
+		t.Errorf("serialized profiles differ between identical runs (%d vs %d bytes)",
+			len(prof1), len(prof2))
+	}
+	if !bytes.Equal(an1, an2) {
+		t.Errorf("serialized analyses differ between identical runs:\n%s\n---\n%s", an1, an2)
+	}
+}

@@ -66,8 +66,11 @@ type ProfileOptions struct {
 	Geom    mem.Geometry   // zero value selects mem.L1Default()
 	Period  pmu.PeriodDist // nil selects pmu.Uniform(pmu.DefaultPeriod)
 	Seed    int64
-	Threads int  // 0 or 1 profiles the sequential run
-	NoTime  bool // skip the baseline timing run (tests)
+	Threads int // 0 or 1 profiles the sequential run
+	// NoTime skips wall-clock measurement entirely (baseline run and
+	// profiled-run timing), making the profile bit-for-bit deterministic
+	// for a given seed — required by tests and cached experiments.
+	NoTime bool
 	// Burst captures this many consecutive miss events per period expiry
 	// (bursty sampling, §5.2); 0 or 1 samples single events.
 	Burst int
@@ -136,6 +139,8 @@ func ProfileProgram(p *workloads.Program, opts ProfileOptions) (*Profile, error)
 		prof.Events += s.Events
 		prof.Refs += s.Refs
 	}
-	prof.ProfiledNs = time.Since(start).Nanoseconds()
+	if !o.NoTime {
+		prof.ProfiledNs = time.Since(start).Nanoseconds()
+	}
 	return prof, nil
 }

@@ -13,15 +13,16 @@ type Runner func(w io.Writer, scale Scale) error
 // runners covering every table and figure of the paper plus the ablations.
 func Registry() map[string]Runner {
 	return map[string]Runner{
-		"fig2":      func(w io.Writer, s Scale) error { _, err := Fig2(w, s); return err },
-		"fig7":      func(w io.Writer, s Scale) error { _, err := Fig7(w, s); return err },
-		"fig8":      func(w io.Writer, s Scale) error { _, err := Fig8(w, s, nil); return err },
-		"fig9":      func(w io.Writer, s Scale) error { _, err := Fig9(w, s); return err },
-		"table2":    func(w io.Writer, s Scale) error { _, err := Table2(w, s); return err },
-		"table3":    func(w io.Writer, s Scale) error { _, err := Table3(w, s); return err },
-		"table4":    func(w io.Writer, s Scale) error { _, err := Table4(w, s); return err },
-		"baselines": func(w io.Writer, s Scale) error { _, err := Baselines(w, s); return err },
-		"l2ext":     func(w io.Writer, s Scale) error { _, err := L2Extension(w, s); return err },
+		"fig2":       func(w io.Writer, s Scale) error { _, err := Fig2(w, s); return err },
+		"fig7":       func(w io.Writer, s Scale) error { _, err := Fig7(w, s); return err },
+		"fig8":       func(w io.Writer, s Scale) error { _, err := Fig8(w, s, nil); return err },
+		"fig9":       func(w io.Writer, s Scale) error { _, err := Fig9(w, s); return err },
+		"table2":     func(w io.Writer, s Scale) error { _, err := Table2(w, s); return err },
+		"table3":     func(w io.Writer, s Scale) error { _, err := Table3(w, s); return err },
+		"table4":     func(w io.Writer, s Scale) error { _, err := Table4(w, s); return err },
+		"baselines":  func(w io.Writer, s Scale) error { _, err := Baselines(w, s); return err },
+		"staticconf": func(w io.Writer, s Scale) error { _, err := StaticConf(w, s); return err },
+		"l2ext":      func(w io.Writer, s Scale) error { _, err := L2Extension(w, s); return err },
 		"ablation-burst": func(w io.Writer, s Scale) error {
 			_, err := AblationBurst(w, s)
 			return err

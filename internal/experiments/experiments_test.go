@@ -400,3 +400,43 @@ func TestAblationBurstShape(t *testing.T) {
 		t.Errorf("sample budgets differ: %.1f vs %.1f", burst.MeanSamples, single.MeanSamples)
 	}
 }
+
+func TestStaticConfShape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := StaticConf(&buf, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("got %d rows, want 12 (six case studies, both variants)", len(res.Rows))
+	}
+	// The acceptance bar: the static analyzer agrees with the exact
+	// simulator on at least 10 of the 12 case-study variants.
+	if agree := res.TP + res.TN; agree < 10 {
+		t.Errorf("static/dynamic agreement %d/12, want >= 10; disagreements: %v",
+			agree, res.Disagreements())
+	}
+	// Every original must be flagged, every optimized variant cleared,
+	// by the dynamic ground truth — otherwise the matrix tests nothing.
+	for _, row := range res.Rows {
+		if strings.HasSuffix(row.App, "/orig") && !row.Dynamic {
+			t.Errorf("%s: dynamic ground truth did not flag the original", row.App)
+		}
+		if strings.HasSuffix(row.App, "/opt") && row.Dynamic {
+			t.Errorf("%s: dynamic ground truth flagged the optimized build", row.App)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "confusion matrix") {
+		t.Error("report missing confusion matrix line")
+	}
+	if !strings.Contains(out, "disagreements:") {
+		t.Error("report missing disagreement list")
+	}
+}
+
+func TestRegistryHasStaticConf(t *testing.T) {
+	if _, ok := Registry()["staticconf"]; !ok {
+		t.Error("registry missing staticconf")
+	}
+}

@@ -1,0 +1,76 @@
+package staticconf
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// PadOptions configures the closed-form pad search. The zero value scans
+// pads 0, 8, 16, …, 512.
+type PadOptions struct {
+	// MaxPad is the largest pad considered, in bytes; default 512.
+	MaxPad uint64
+	// Quantum is the pad step, in bytes; default 8. Use the element size
+	// of the padded array to keep pads element-aligned.
+	Quantum uint64
+	// Analyze tunes the per-candidate analysis.
+	Analyze Options
+}
+
+func (o PadOptions) withDefaults() PadOptions {
+	if o.MaxPad == 0 {
+		o.MaxPad = 512
+	}
+	if o.Quantum == 0 {
+		o.Quantum = 8
+	}
+	return o
+}
+
+// PadResult is the outcome of a MinimalPad search.
+type PadResult struct {
+	// Pad is the smallest pad whose spec analyzes clean.
+	Pad uint64
+	// Report is the analysis at the recommended pad; Baseline the
+	// analysis at pad 0.
+	Report   *Report
+	Baseline *Report
+	// Tried lists the pads examined, in order.
+	Tried []uint64
+}
+
+// MinimalPad solves for the smallest pad that clears the predicted
+// conflict: it analyzes build(pad) for pad = 0, Quantum, 2·Quantum, …
+// and returns at the first clean verdict. build maps a candidate pad to
+// the kernel's access spec at that pad (re-deriving bases and strides
+// exactly as the padded allocation would).
+//
+// This is the static half of the advisor's contract: the caller verifies
+// the recommendation with a handful of simulations instead of sweeping
+// every candidate. An error is returned when no pad ≤ MaxPad analyzes
+// clean — the caller should then fall back to a full dynamic sweep.
+func MinimalPad(build func(pad uint64) *Spec, g mem.Geometry, opts PadOptions) (*PadResult, error) {
+	if build == nil {
+		return nil, fmt.Errorf("staticconf: nil spec builder")
+	}
+	o := opts.withDefaults()
+	res := &PadResult{}
+	for pad := uint64(0); pad <= o.MaxPad; pad += o.Quantum {
+		rep, err := Analyze(build(pad), g, o.Analyze)
+		if err != nil {
+			return nil, fmt.Errorf("staticconf: pad %d: %w", pad, err)
+		}
+		res.Tried = append(res.Tried, pad)
+		if pad == 0 {
+			res.Baseline = rep
+		}
+		if !rep.Conflict {
+			res.Pad = pad
+			res.Report = rep
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("staticconf: no pad ≤ %d bytes clears the predicted conflict for %q",
+		o.MaxPad, build(0).Kernel)
+}

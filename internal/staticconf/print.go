@@ -1,0 +1,76 @@
+package staticconf
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// WriteText renders the report for terminals, mirroring the layout of the
+// dynamic analysis report so the two verdicts read side by side.
+func (r *Report) WriteText(w io.Writer) error {
+	verdict := "NO CONFLICT predicted"
+	if r.Conflict {
+		verdict = "CONFLICT predicted"
+	}
+	fmt.Fprintf(w, "=== static analysis: %s (%s) ===\n", r.Kernel, r.Geom)
+	fmt.Fprintf(w, "verdict: %s — %s\n", verdict, r.Reason)
+	fmt.Fprintf(w, "predicted CF %.3f, predicted RCD %.0f, max window demand %d lines (assoc %d)\n",
+		r.PredictedCF, r.PredictedRCD, r.MaxDemand, r.Geom.Ways)
+	if n := len(r.Overloaded); n > 0 {
+		fmt.Fprintf(w, "overloaded sets (%d): %s\n", n, formatSets(r.Overloaded))
+	}
+
+	t := report.NewTable("per-access footprint",
+		"array", "loop", "refs", "sets", "win lines", "win sets", "stride sets", "flags")
+	for _, a := range r.Accesses {
+		t.Row(a.Access.Array, a.Access.Loop, a.TotalRefs, a.SetsTouched,
+			a.WindowLines, a.WindowSets, a.StrideSets, flagString(a))
+	}
+	return t.Write(w)
+}
+
+// flagString compresses the pathology flags into a short label.
+func flagString(a AccessReport) string {
+	s := ""
+	if a.PowerOfTwo {
+		s += "pow2 "
+	}
+	if a.Camping {
+		s += "camping "
+	} else if a.Pathological {
+		s += "pathological "
+	}
+	if a.WindowTruncated {
+		s += "truncated "
+	}
+	if s == "" {
+		return "-"
+	}
+	return s[:len(s)-1]
+}
+
+// formatSets prints a set list compactly, collapsing runs: "0-3,32-35".
+func formatSets(sets []int) string {
+	if len(sets) == 0 {
+		return "-"
+	}
+	out := ""
+	for i := 0; i < len(sets); {
+		j := i
+		for j+1 < len(sets) && sets[j+1] == sets[j]+1 {
+			j++
+		}
+		if out != "" {
+			out += ","
+		}
+		if j > i {
+			out += fmt.Sprintf("%d-%d", sets[i], sets[j])
+		} else {
+			out += fmt.Sprintf("%d", sets[i])
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -28,6 +28,7 @@ func NewADI(n, steps int) *CaseStudy {
 		TargetLoop:    "adi.c:8",
 		ProfilePeriod: 171,
 		Parallel:      false, // Table 3 reports ADI sequential
+		PadBuilder:    func(pad uint64) *Program { return adiProgram(n, steps, pad) },
 	}
 }
 
@@ -72,6 +73,22 @@ func adiProgram(n, steps int, pad uint64) *Program {
 	av := alloc.NewMatrix2D(ar, "a", n, n, 8, pad)
 	bv := alloc.NewMatrix2D(ar, "b", n, n, 8, pad)
 
+	// Static access spec: per timestep, a streaming row sweep and a
+	// row-strided column sweep over the three aligned matrices. The
+	// column sweep's inner stride is the row stride — the §2 pathology
+	// when n*8 is a multiple of the set span.
+	rs := int64(u.RowStride())
+	sp := spec(name,
+		// Row sweep (adi.c:4): u, a, b stream row-major.
+		acc("u", "adi.c:4", u.At(0, 1), 8, 1, dim(0, steps), dim(rs, n), dim(8, n-1)),
+		acc("a", "adi.c:4", av.At(0, 1), 8, 1, dim(0, steps), dim(rs, n), dim(8, n-1)),
+		acc("b", "adi.c:4", bv.At(0, 0), 8, 1, dim(0, steps), dim(rs, n), dim(8, n-1)),
+		// Column sweep (adi.c:8): the reuse window is one column walk.
+		acc("u", "adi.c:8", u.At(1, 0), 8, 1, dim(0, steps), dim(8, n), dim(rs, n-1)),
+		acc("a", "adi.c:8", av.At(1, 0), 8, 1, dim(0, steps), dim(8, n), dim(rs, n-1)),
+		acc("b", "adi.c:8", bv.At(0, 0), 8, 1, dim(0, steps), dim(8, n), dim(rs, n-1)),
+	)
+
 	// Real solver values: u is the unknown field, a/b the sweep
 	// coefficients (|a/b| < 1 keeps the recurrences stable). Check
 	// returns the field sum after the run; it must be identical for the
@@ -82,6 +99,7 @@ func adiProgram(n, steps int, pad uint64) *Program {
 		Name:   name,
 		Binary: bin,
 		Arena:  ar,
+		Spec:   sp,
 		runThread: func(tid, threads int, sink trace.Sink) {
 			if tid != 0 {
 				return // sequential case study

@@ -42,6 +42,7 @@ func NewFFT(n int) *CaseStudy {
 		TargetLoop:    "libmkl(anon):30",
 		ProfilePeriod: 171,
 		Parallel:      true,
+		PadBuilder:    func(pad uint64) *Program { return fftProgram(n, pad) },
 	}
 }
 
@@ -80,6 +81,19 @@ func fftProgram(n int, pad uint64) *Program {
 
 	ar := alloc.NewArena()
 	data := alloc.NewMatrix2D(ar, "dft_data", n, n, 16, pad)
+
+	// Static access spec. Each in-place FFT revisits its n elements once
+	// per stage (the zero-stride stage dim); the reuse window is one
+	// whole transform. The column pass walks rows by the full row
+	// stride — the 2-power DFT pathology.
+	rs := int64(data.RowStride())
+	stages := log2i(n)
+	sp := spec(name,
+		acc("dft_data", "libmkl(anon):12", data.At(0, 0), 16, 2,
+			dim(rs, n), dim(0, stages), dim(16, n)),
+		acc("dft_data", "libmkl(anon):30", data.At(0, 0), 16, 2,
+			dim(16, n), dim(0, stages), dim(rs, n)),
+	)
 
 	// Element storage and the seeded input signal.
 	vals := make([]complex128, n*n)
@@ -121,6 +135,7 @@ func fftProgram(n int, pad uint64) *Program {
 		Name:   name,
 		Binary: bin,
 		Arena:  ar,
+		Spec:   sp,
 		runThread: func(tid, threads int, sink trace.Sink) {
 			compute := threads == 1
 			lo, hi := span(n, tid, threads)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/objfile"
+	"repro/internal/staticconf"
 	"repro/internal/trace"
 )
 
@@ -35,6 +36,12 @@ func NewHimeno(ni, nj, nk, iters int) *CaseStudy {
 		TargetLoop:    "himenoBMT.c:6",
 		ProfilePeriod: 31, // short conflict periods need high-frequency sampling (§6.6)
 		Parallel:      true,
+		// One knob for the mechanical search: pad rows by the candidate
+		// and planes by the same amount, which breaks both alignments
+		// the hand-picked (64, 160) fix targets.
+		PadBuilder: func(pad uint64) *Program {
+			return himenoProgram(ni, nj, nk, iters, pad, pad)
+		},
 	}
 }
 
@@ -90,6 +97,42 @@ func himenoProgram(ni, nj, nk, iters int, rowPad, planePad uint64) *Program {
 	wrk1 := mat("wrk1")
 	wrk2 := mat("wrk2")
 
+	// Static access spec: one access per array at the stencil centre,
+	// plus p's plane and row neighbours (the k±1 neighbours share the
+	// centre's lines). The reuse window is one k-row; all fourteen
+	// unpadded arrays are mutually set-aligned because their sizes are
+	// multiples of the set span.
+	rowS, planeS := int64(p.RowStride()), int64(p.PlaneStride())
+	inner := func(base uint64) staticconf.Access {
+		return acc("", "himenoBMT.c:6", base, 8, 1,
+			dim(0, iters), dim(planeS, ni-2), dim(rowS, nj-2), dim(8, nk-2))
+	}
+	named := func(label string, base uint64) staticconf.Access {
+		a := inner(base)
+		a.Array = label
+		return a
+	}
+	sp := spec(name,
+		named("p", p.At(1, 1, 1)),
+		named("p", p.At(2, 1, 1)),
+		named("p", p.At(0, 1, 1)),
+		named("p", p.At(1, 2, 1)),
+		named("p", p.At(1, 0, 1)),
+		named("a", a[0].At(1, 1, 1)),
+		named("a", a[1].At(1, 1, 1)),
+		named("a", a[2].At(1, 1, 1)),
+		named("a", a[3].At(1, 1, 1)),
+		named("b", bm[0].At(1, 1, 1)),
+		named("b", bm[1].At(1, 1, 1)),
+		named("b", bm[2].At(1, 1, 1)),
+		named("c", cm[0].At(1, 1, 1)),
+		named("c", cm[1].At(1, 1, 1)),
+		named("c", cm[2].At(1, 1, 1)),
+		named("bnd", bnd.At(1, 1, 1)),
+		named("wrk1", wrk1.At(1, 1, 1)),
+		named("wrk2", wrk2.At(1, 1, 1)),
+	)
+
 	// Real Jacobi values (HimenoBMT's classic initialization): pressure
 	// p = (i/(ni-1))^2, coefficients a = {1,1,1,1/6}, b = c = 0, bnd = 1.
 	// The kernel computes gosa (the squared-residual sum) per iteration,
@@ -101,6 +144,7 @@ func himenoProgram(ni, nj, nk, iters int, rowPad, planePad uint64) *Program {
 		Name:   name,
 		Binary: bin,
 		Arena:  ar,
+		Spec:   sp,
 		runThread: func(tid, threads int, sink trace.Sink) {
 			compute := threads == 1
 			lo, hi := span(ni-2, tid, threads)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/objfile"
+	"repro/internal/staticconf"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -28,18 +29,26 @@ func NewKripke(zones, directions, groups int) *CaseStudy {
 		Name: "Kripke",
 		Desc: fmt.Sprintf("Sn particle edit kernel, %d zones x %d directions x %d groups",
 			zones, directions, groups),
-		Original:      kripkeProgram(zones, directions, groups, false),
-		Optimized:     kripkeProgram(zones, directions, groups, true),
+		Original:      kripkeProgram(zones, directions, groups, false, 0),
+		Optimized:     kripkeProgram(zones, directions, groups, true, 0),
 		TargetLoop:    "kernel.cpp:5",
 		ProfilePeriod: 171,
 		Parallel:      true,
+		// The paper's fix is the interchange, but padding psi's z-rows
+		// breaks the same power-of-two alignment; that is the knob the
+		// advisor's mechanical search can turn.
+		PadBuilder: func(pad uint64) *Program {
+			return kripkeProgram(zones, directions, groups, false, pad)
+		},
 	}
 }
 
-func kripkeProgram(zones, directions, groups int, interchanged bool) *Program {
+func kripkeProgram(zones, directions, groups int, interchanged bool, rowPad uint64) *Program {
 	name := "kripke"
 	if interchanged {
 		name = "kripke-interchanged"
+	} else if rowPad > 0 {
+		name = fmt.Sprintf("kripke-pad%d", rowPad)
 	}
 	const src = "kernel.cpp"
 
@@ -71,9 +80,31 @@ func kripkeProgram(zones, directions, groups int, interchanged bool) *Program {
 
 	ar := alloc.NewArena()
 	// psi(g,d,z): g-major 3D layout, z innermost.
-	psi := alloc.NewMatrix3D(ar, "psi", groups, directions, zones, 8, 0, 0)
+	psi := alloc.NewMatrix3D(ar, "psi", groups, directions, zones, 8, rowPad, 0)
 	vol := alloc.NewVector(ar, "volume", zones, 8)
 	w := alloc.NewVector(ar, "dirs.w", directions, 16) // direction struct, w field
+
+	// Static access spec. The original order z{d{g}} makes psi's inner
+	// stride a whole (g,d) plane — with power-of-two extents, the same
+	// set every iteration. The interchange makes psi streaming.
+	rowS, planeS := int64(psi.RowStride()), int64(psi.PlaneStride())
+	var sp *staticconf.Spec
+	if !interchanged {
+		sp = spec(name,
+			acc("psi", "kernel.cpp:5", psi.At(0, 0, 0), 8, 1,
+				dim(8, zones), dim(rowS, directions), dim(planeS, groups)),
+			acc("volume", "kernel.cpp:1", vol.At(0), 8, 1, dim(8, zones)),
+			acc("dirs.w", "kernel.cpp:3", w.At(0), 8, 1, dim(0, zones), dim(16, directions)),
+		)
+	} else {
+		sp = spec(name,
+			acc("psi", "kernel.cpp:5", psi.At(0, 0, 0), 8, 1,
+				dim(planeS, groups), dim(rowS, directions), dim(8, zones)),
+			acc("volume", "kernel.cpp:5", vol.At(0), 8, 1,
+				dim(0, groups), dim(0, directions), dim(8, zones)),
+			acc("dirs.w", "kernel.cpp:3", w.At(0), 8, 1, dim(0, groups), dim(16, directions)),
+		)
+	}
 
 	// Real particle-edit values: the kernel computes the total particle
 	// count, part = sum w[d] * psi[g][d][z] * vol[z]. Loop interchange
@@ -85,6 +116,7 @@ func kripkeProgram(zones, directions, groups int, interchanged bool) *Program {
 		Name:   name,
 		Binary: bin,
 		Arena:  ar,
+		Spec:   sp,
 		runThread: func(tid, threads int, sink trace.Sink) {
 			compute := threads == 1
 			if compute {

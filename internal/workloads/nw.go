@@ -43,6 +43,7 @@ func NewNW(n, tileSize int) *CaseStudy {
 		TargetLoop:    "needle.cpp:189",
 		ProfilePeriod: 171,
 		Parallel:      true,
+		PadBuilder:    func(pad uint64) *Program { return nwProgram(n, tileSize, pad, pad) },
 	}
 }
 
@@ -117,6 +118,29 @@ func nwProgram(n, tileSize int, padInput, padRef uint64) *Program {
 
 	nTiles := n / tileSize
 
+	// Static access spec. The dominant traffic is the tile copies: each
+	// tile reads tileSize+1 consecutive rows of both big matrices into
+	// the locals. The reuse window is one tile (the inner two dims); the
+	// outer two dims enumerate the nTiles x nTiles tile grid, which the
+	// wavefront phases visit exactly once in total.
+	rsIn, rsRef := int64(input.RowStride()), int64(ref.RowStride())
+	rsL := int64(inLocal.RowStride())
+	ts := tileSize
+	sp := spec(name,
+		acc("input_itemsets", "needle.cpp:289", input.At(0, 0), 4, 1,
+			dim(rsIn, rows), dim(4, rows)),
+		acc("input_itemsets", "needle.cpp:189", input.At(0, 0), 4, 2,
+			dim(int64(ts)*rsIn, nTiles), dim(int64(ts)*4, nTiles), dim(rsIn, ts+1), dim(4, ts+1)),
+		acc("input_itemsets_l", "needle.cpp:190", inLocal.At(0, 0), 4, 2,
+			dim(0, nTiles*nTiles), dim(rsL, ts+1), dim(4, ts+1)),
+		acc("reference", "needle.cpp:199", ref.At(1, 1), 4, 2,
+			dim(int64(ts)*rsRef, nTiles), dim(int64(ts)*4, nTiles), dim(rsRef, ts), dim(4, ts)),
+		acc("reference_l", "needle.cpp:200", refLocal.At(0, 0), 4, 2,
+			dim(0, nTiles*nTiles), dim(int64(ts)*4, ts), dim(4, ts)),
+		acc("input_itemsets", "needle.cpp:220", input.At(1, 1), 4, 2,
+			dim(int64(ts)*rsIn, nTiles), dim(int64(ts)*4, nTiles), dim(rsIn, ts), dim(4, ts)),
+	)
+
 	// Real DP values: the kernel computes the actual alignment-score
 	// matrix with the same seeded similarity scores the naive reference
 	// (NWReference) uses. Element (i, j) of the address layout above
@@ -183,6 +207,7 @@ func nwProgram(n, tileSize int, padInput, padRef uint64) *Program {
 		Name:   name,
 		Binary: bin,
 		Arena:  ar,
+		Spec:   sp,
 		runThread: func(tid, threads int, sink trace.Sink) {
 			compute := threads == 1
 			// Initialization scan, partitioned by rows: zero the matrix

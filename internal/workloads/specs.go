@@ -1,0 +1,39 @@
+package workloads
+
+import "repro/internal/staticconf"
+
+// Spec-construction helpers. Every workload declares the affine access
+// specification of its dominant references alongside the trace generator,
+// so the static analyzer sees exactly the layout the generator walks
+// (bases and strides come from the same alloc matrices).
+
+// dim is one loop dimension: byte stride per iteration, trip count.
+func dim(stride int64, trip int) staticconf.Dim {
+	return staticconf.Dim{Stride: stride, Trip: trip}
+}
+
+// acc assembles one access; window is the number of innermost dims
+// forming the reuse window.
+func acc(array, loop string, base, elem uint64, window int, dims ...staticconf.Dim) staticconf.Access {
+	return staticconf.Access{
+		Array: array, Loop: loop, Base: base, Elem: elem,
+		Dims: dims, Window: window,
+	}
+}
+
+// spec assembles a kernel spec.
+func spec(kernel string, accesses ...staticconf.Access) *staticconf.Spec {
+	return &staticconf.Spec{Kernel: kernel, Accesses: accesses}
+}
+
+// log2i returns ⌈log2 n⌉ for n ≥ 1, the stage count of a radix-2 FFT.
+func log2i(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	if k == 0 {
+		k = 1
+	}
+	return k
+}

@@ -35,6 +35,7 @@ func NewSymmetrizationReps(n, reps int) *CaseStudy {
 		TargetLoop:    "sym.c:4",
 		Parallel:      true,
 		ProfilePeriod: 171,
+		PadBuilder:    func(pad uint64) *Program { return symmetrizationProgram(n, reps, pad) },
 	}
 }
 
@@ -58,6 +59,14 @@ func symmetrizationProgram(n, reps int, pad uint64) *Program {
 	ar := alloc.NewArena()
 	a := alloc.NewMatrix2D(ar, "A", n, n, 8, pad)
 
+	// Static access spec: the row access streams, the transposed access
+	// walks down a column by the full row stride (Figure 2).
+	rs := int64(a.RowStride())
+	sp := spec(name,
+		acc("A", "sym.c:4", a.At(0, 0), 8, 1, dim(0, reps), dim(rs, n), dim(8, n)),
+		acc("A", "sym.c:4", a.At(0, 0), 8, 1, dim(0, reps), dim(8, n), dim(rs, n)),
+	)
+
 	// Element storage for the real computation; the address layout above
 	// decides cache behaviour, vals holds the numbers.
 	vals := make([]float64, n*n)
@@ -73,6 +82,7 @@ func symmetrizationProgram(n, reps int, pad uint64) *Program {
 		Name:   name,
 		Binary: bin,
 		Arena:  ar,
+		Spec:   sp,
 		runThread: func(tid, threads int, sink trace.Sink) {
 			compute := threads == 1
 			lo, hi := span(n, tid, threads)

@@ -32,6 +32,7 @@ func NewTinyDNN(in, out, batches int) *CaseStudy {
 		TargetLoop:    "fully_connected_layer.h:2",
 		ProfilePeriod: 171,
 		Parallel:      true,
+		PadBuilder:    func(pad uint64) *Program { return tinyDNNProgram(in, out, batches, pad) },
 	}
 }
 
@@ -66,6 +67,18 @@ func tinyDNNProgram(in, out, batches int, pad uint64) *Program {
 	inVec := alloc.NewVector(ar, "in", in, 4)
 	aVec := alloc.NewVector(ar, "a", out, 4)
 
+	// Static access spec: W is read down a column (stride = one row),
+	// Listing 3's pathology; the input vector is cache-resident reuse.
+	rs := int64(w.RowStride())
+	sp := spec(name,
+		acc("W", "fully_connected_layer.h:2", w.At(0, 0), 4, 1,
+			dim(0, batches), dim(4, out), dim(rs, in)),
+		acc("in", "fully_connected_layer.h:2", inVec.At(0), 4, 1,
+			dim(0, batches), dim(0, out), dim(4, in)),
+		acc("a", "fully_connected_layer.h:3", aVec.At(0), 4, 1,
+			dim(0, batches), dim(4, out)),
+	)
+
 	// Real layer values: weights and activations as float32, like
 	// tiny-dnn's vec_t.
 	wVals := make([]float32, in*out)
@@ -83,6 +96,7 @@ func tinyDNNProgram(in, out, batches int, pad uint64) *Program {
 		Name:   name,
 		Binary: bin,
 		Arena:  ar,
+		Spec:   sp,
 		runThread: func(tid, threads int, sink trace.Sink) {
 			compute := threads == 1
 			lo, hi := span(out, tid, threads)

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/objfile"
+	"repro/internal/staticconf"
 	"repro/internal/trace"
 )
 
@@ -33,6 +34,12 @@ type Program struct {
 	Binary *objfile.Binary
 	// Arena is the allocation log for data-centric attribution.
 	Arena *alloc.Arena
+	// Spec is the kernel's affine access specification for the static
+	// analyzer, covering its dominant array references. Nil means the
+	// kernel has no useful affine description (and the static path
+	// abstains). Kernels with data-dependent accesses declare affine
+	// approximations of their streaming parts.
+	Spec *staticconf.Spec
 
 	// runThread emits the references of one thread's partition of the
 	// work. Sequential kernels emit everything on thread 0.
@@ -98,6 +105,24 @@ type CaseStudy struct {
 	// case's conflicts: 171 for most, but workloads whose conflict
 	// period is short (HimenoBMT, §6.6) need high-frequency sampling.
 	ProfilePeriod uint64
+	// PadBuilder rebuilds the kernel with the conflicting array(s)
+	// padded by the given byte count, for the advisor's pad search.
+	// PadBuilder(0) is layout-identical to Original.
+	PadBuilder func(pad uint64) *Program
+}
+
+// SpecBuilder derives the static access spec of PadBuilder(pad) without
+// constructing the trace generator's value storage; it exists for the
+// closed-form pad solver. Returns nil when the case has no PadBuilder or
+// its programs carry no spec.
+func (cs *CaseStudy) SpecBuilder() func(pad uint64) *staticconf.Spec {
+	if cs.PadBuilder == nil {
+		return nil
+	}
+	if p := cs.PadBuilder(0); p == nil || p.Spec == nil {
+		return nil
+	}
+	return func(pad uint64) *staticconf.Spec { return cs.PadBuilder(pad).Spec }
 }
 
 // span splits [0, n) into `threads` nearly equal chunks and returns chunk
