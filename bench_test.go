@@ -340,3 +340,71 @@ func BenchmarkAblationBurst(b *testing.B) {
 		}
 	}
 }
+
+// Parallel-engine benchmarks: batched reference streaming and the sharded
+// sweep executor (BENCH_2.json snapshots these).
+
+// BenchmarkUnbatchedStream measures per-reference delivery into the PMU
+// sampler — one interface dispatch per access, the pre-batching baseline.
+func BenchmarkUnbatchedStream(b *testing.B) {
+	refs := workloads.NewADI(256, 1).Original.Record().Refs
+	s := pmu.NewSampler(pmu.Config{Geom: mem.L1Default(), Period: pmu.Uniform(pmu.DefaultPeriod), Seed: 1})
+	s.Grow(len(refs))
+	var sink trace.Sink = s // dispatch through the interface, as workloads do
+	b.SetBytes(int64(len(refs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range refs {
+			sink.Ref(r)
+		}
+		s.Samples = s.Samples[:0] // reuse the preallocated sample buffer
+	}
+	b.ReportMetric(float64(len(refs)), "refs/op")
+}
+
+// BenchmarkBatchedStream measures the same stream delivered in
+// DefaultBatch-sized slices — one dispatch per batch, the tightened inner
+// loop, zero allocations per reference.
+func BenchmarkBatchedStream(b *testing.B) {
+	refs := workloads.NewADI(256, 1).Original.Record().Refs
+	s := pmu.NewSampler(pmu.Config{Geom: mem.L1Default(), Period: pmu.Uniform(pmu.DefaultPeriod), Seed: 1})
+	s.Grow(len(refs))
+	b.SetBytes(int64(len(refs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < len(refs); lo += trace.DefaultBatch {
+			hi := lo + trace.DefaultBatch
+			if hi > len(refs) {
+				hi = len(refs)
+			}
+			s.RefBatch(refs[lo:hi])
+		}
+		s.Samples = s.Samples[:0]
+	}
+	b.ReportMetric(float64(len(refs)), "refs/op")
+}
+
+// benchSweep runs the full Rodinia Figure 7 sweep on the sharded executor
+// at the given worker count. Serial vs parallel wall-clock is the headline
+// comparison of BENCH_2.json; the outputs are byte-identical (see
+// internal/experiments/determinism_test.go), only the schedule differs.
+func benchSweep(b *testing.B, workers int) {
+	SetParallelism(workers)
+	defer SetParallelism(0)
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(nil, scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the Rodinia sweep pinned to one worker.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel is the Rodinia sweep at four workers. On a
+// multicore host this is where the engine's speedup shows; on a single
+// hardware thread it degrades gracefully to serial throughput.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 4) }

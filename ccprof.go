@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/objfile"
+	"repro/internal/parsim"
 	"repro/internal/pmu"
 	"repro/internal/report"
 	"repro/internal/staticconf"
@@ -236,11 +237,30 @@ func Simulate(p *Program, m Machine, threads int) *cache.System {
 
 // RecommendPad searches candidate row pads for a rebuildable kernel and
 // returns the cheapest pad removing the conflict signature — the
-// mechanical version of the paper's §6 optimization step. See
+// mechanical version of the paper's §6 optimization step. Candidates are
+// evaluated in parallel on the sweep executor (see SetParallelism); the
+// recommendation is byte-identical at any worker count. See
 // internal/advisor for options and examples/advisor for a walkthrough.
 func RecommendPad(build func(pad uint64) *Program, opts advisor.Options) (advisor.Result, error) {
 	return advisor.RecommendPad(build, opts)
 }
+
+// SetParallelism sets the process-wide worker count of the deterministic
+// sweep executor that runs the advisor's pad candidates and the
+// sweep-style experiments (cmd/ccprof and cmd/experiments expose it as
+// -j). n <= 0 restores the GOMAXPROCS default. Worker count never changes
+// results: every sweep reassembles its tasks in canonical order and every
+// task derives its RNG seed from the root seed and a stable task key.
+func SetParallelism(n int) { parsim.SetDefaultWorkers(n) }
+
+// Parallelism returns the resolved sweep-executor worker count.
+func Parallelism() int { return parsim.DefaultWorkers() }
+
+// DeriveSeed derives a deterministic per-task RNG seed from a root seed
+// and a stable task key (seed = root ⊕ FNV-1a(key)) — the scheme that
+// keeps parallel sweeps reproducible. Custom sweeps over ccprof APIs
+// should seed their tasks the same way.
+func DeriveSeed(root int64, key string) int64 { return parsim.DeriveSeed(root, key) }
 
 // ProfileL2 runs the physically-indexed L2 profiling extension (the
 // paper's footnote-1 future work): L2-miss address sampling, translated

@@ -15,6 +15,7 @@
 //	ccprof -variant optimized adi # confirm padding removed the conflicts
 //	ccprof -period 31 himeno      # short conflict periods need fast sampling
 //	ccprof -static adi            # static affine verdict next to the dynamic one
+//	ccprof -advise -j 8 nw        # parallel pad sweep; output identical at any -j
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/pmu"
 	"repro/internal/vmem"
@@ -45,6 +47,8 @@ func main() {
 		static     = flag.Bool("static", false, "also print the static affine conflict analysis (no execution)")
 		l2         = flag.Bool("l2", false, "physically-indexed L2 profiling (the footnote-1 extension)")
 		pagePolicy = flag.String("page-policy", "identity", "L2 mode: identity, sequential, or random frame allocation")
+		advise     = flag.Bool("advise", false, "run the pad advisor sweep for the workload and exit")
+		jobs       = flag.Int("j", 0, "sweep-executor workers for -advise and library sweeps (0 = GOMAXPROCS; results are identical at any value)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ccprof [flags] <workload>\nworkloads: %v\nflags:\n", ccprof.WorkloadNames())
@@ -67,9 +71,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	ccprof.SetParallelism(*jobs)
+
 	cs, err := ccprof.Workload(flag.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+
+	if *advise {
+		if err := advisePad(cs); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *static {
@@ -164,6 +177,38 @@ func main() {
 	if err := ccprof.WriteReport(os.Stdout, an); err != nil {
 		fatal(err)
 	}
+}
+
+// advisePad runs the advisor's pad sweep for a case study: every candidate
+// pad is built and simulated on the parallel sweep executor (-j), and the
+// cheapest pad that removes the conflict signature is recommended.
+func advisePad(cs *ccprof.CaseStudy) error {
+	if cs.PadBuilder == nil {
+		return fmt.Errorf("%s has no pad builder (its fix is not a row pad)", cs.Name)
+	}
+	res, err := ccprof.RecommendPad(cs.PadBuilder, advisor.Options{
+		StaticFirst: true,
+		Spec:        cs.SpecBuilder(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pad sweep for %s (%d workers)\n\n", cs.Name, ccprof.Parallelism())
+	fmt.Printf("%-8s  %-10s  %-10s  %-12s  %-6s\n", "pad", "L1 misses", "L2 misses", "cycles", "cf")
+	for _, c := range res.Candidates {
+		marker := ""
+		if c.Pad == res.Best.Pad {
+			marker = "  <- recommended"
+		}
+		fmt.Printf("%-8d  %-10d  %-10d  %-12d  %-6.1f%s\n",
+			c.Pad, c.Misses, c.L2Misses, c.Cycles, 100*c.CF, marker)
+	}
+	if len(res.Pruned) > 0 {
+		fmt.Printf("\nstatically pruned (no simulation): %v\n", res.Pruned)
+	}
+	fmt.Printf("\nrecommended pad: %d bytes (%.1f%% cycle reduction over pad 0)\n",
+		res.Best.Pad, 100*res.Improvement())
+	return nil
 }
 
 // compareVariants profiles both builds of a case study and reports the

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiments"
+	"repro/internal/parsim"
 )
 
 func main() {
@@ -25,8 +26,10 @@ func main() {
 		list  = flag.Bool("list", false, "list experiments and exit")
 		quick = flag.Bool("quick", false, "use shrunken workloads")
 		out   = flag.String("out", "", "write per-experiment artifact files to this directory")
+		jobs  = flag.Int("j", 0, "sweep-executor workers (0 = GOMAXPROCS; results are identical at any value)")
 	)
 	flag.Parse()
+	parsim.SetDefaultWorkers(*jobs)
 
 	if *list {
 		for _, n := range experiments.Names() {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/parsim"
 	"repro/internal/rcd"
 	"repro/internal/staticconf"
 	"repro/internal/trace"
@@ -85,6 +86,12 @@ type Options struct {
 	// StaticKeep is how many statically-clean pads survive pruning;
 	// 0 selects 4.
 	StaticKeep int
+	// Workers sets the parallelism of the candidate sweep: each pad is
+	// built and simulated on its own worker with its own cache and RCD
+	// instances, and results are reassembled in candidate order, so the
+	// recommendation is byte-identical at any worker count. 0 selects
+	// the process default (GOMAXPROCS, or the -j flag of cmd/ccprof).
+	Workers int
 }
 
 // DefaultPads covers the pad sizes the paper's case studies use (32, 64,
@@ -119,23 +126,40 @@ func RecommendPad(build func(pad uint64) *workloads.Program, opts Options) (Resu
 		pads, res.Pruned = staticPrune(pads, opts, geom)
 	}
 
+	// Deduplicate while preserving evaluation order, then fan the
+	// candidates across the sweep executor: each pad builds and simulates
+	// its kernel independently (own caches, own RCD tracker), and the
+	// results come back in candidate order, so the sweep is byte-identical
+	// at any worker count.
 	seen := map[uint64]bool{}
-	haveBaseline := false
+	uniq := pads[:0:0]
 	for _, pad := range pads {
-		if seen[pad] {
-			continue
+		if !seen[pad] {
+			seen[pad] = true
+			uniq = append(uniq, pad)
 		}
-		seen[pad] = true
-		p := build(pad)
-		if p == nil {
-			return Result{}, fmt.Errorf("advisor: build(%d) returned nil", pad)
-		}
-		c := evaluate(p, geom, opts.MaxRefs)
-		c.Pad = pad
-		res.Candidates = append(res.Candidates, c)
-		if pad == 0 {
+	}
+	cands, err := parsim.Run(len(uniq), parsim.Options{Workers: opts.Workers},
+		func(i int) (Candidate, error) {
+			pad := uniq[i]
+			p := build(pad)
+			if p == nil {
+				return Candidate{}, fmt.Errorf("advisor: build(%d) returned nil", pad)
+			}
+			c := evaluate(p, geom, opts.MaxRefs)
+			c.Pad = pad
+			return c, nil
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	res.Candidates = cands
+	haveBaseline := false
+	for _, c := range cands {
+		if c.Pad == 0 {
 			res.Baseline = c
 			haveBaseline = true
+			break
 		}
 	}
 	if !haveBaseline {
@@ -222,34 +246,62 @@ func staticPrune(pads []uint64, opts Options, geom mem.Geometry) (kept, pruned [
 	return kept, pruned
 }
 
+// evalSink is the advisor's batch-aware cost model: the configured L1
+// backed by a 256KiB L2 (the private L2 of the evaluated machines), costed
+// with the Broadwell latency table. Implementing trace.BatchSink lets the
+// workload deliver references in slices, so the two-level simulation runs
+// without a dynamic dispatch per access.
+type evalSink struct {
+	geom    mem.Geometry
+	l1, l2  *cache.Cache
+	lat     mem.Latency
+	tr      *rcd.Tracker
+	maxRefs uint64
+	n       uint64
+	cycles  uint64
+}
+
+func (e *evalSink) one(r trace.Ref) {
+	if e.maxRefs > 0 && e.n >= e.maxRefs {
+		return
+	}
+	e.n++
+	if e.l1.AccessHit(r.Addr) {
+		e.cycles += uint64(e.lat.L1Hit)
+		return
+	}
+	e.tr.Observe(e.geom.Set(r.Addr))
+	if e.l2.AccessHit(r.Addr) {
+		e.cycles += uint64(e.lat.L2Hit)
+		return
+	}
+	e.cycles += uint64(e.lat.Memory)
+}
+
+// Ref implements trace.Sink.
+func (e *evalSink) Ref(r trace.Ref) { e.one(r) }
+
+// RefBatch implements trace.BatchSink.
+func (e *evalSink) RefBatch(refs []trace.Ref) {
+	for i := range refs {
+		e.one(refs[i])
+	}
+}
+
 func evaluate(p *workloads.Program, geom mem.Geometry, maxRefs uint64) Candidate {
-	// Two-level simulation: the configured L1 backed by a 256KiB L2 (the
-	// private L2 of the evaluated machines), costed with the Broadwell
-	// latency table.
-	l1 := cache.New(geom, cache.LRU, nil)
-	l2 := cache.New(mem.MustGeometry(geom.LineSize, 512, 8), cache.LRU, nil)
-	lat := mem.Broadwell().Lat
-	tr := rcd.New(geom.Sets)
-	var c Candidate
-	var n uint64
-	p.Run(trace.SinkFunc(func(r trace.Ref) {
-		if maxRefs > 0 && n >= maxRefs {
-			return
-		}
-		n++
-		if l1.Access(r.Addr).Hit {
-			c.Cycles += uint64(lat.L1Hit)
-			return
-		}
-		tr.Observe(geom.Set(r.Addr))
-		if l2.Access(r.Addr).Hit {
-			c.Cycles += uint64(lat.L2Hit)
-			return
-		}
-		c.Cycles += uint64(lat.Memory)
-	}))
-	c.Misses = l1.Misses
-	c.L2Misses = l2.Misses
-	c.CF = tr.ContributionFactor(rcd.DefaultThreshold)
-	return c
+	e := &evalSink{
+		geom:    geom,
+		l1:      cache.New(geom, cache.LRU, nil),
+		l2:      cache.New(mem.MustGeometry(geom.LineSize, 512, 8), cache.LRU, nil),
+		lat:     mem.Broadwell().Lat,
+		tr:      rcd.New(geom.Sets),
+		maxRefs: maxRefs,
+	}
+	p.Run(e)
+	return Candidate{
+		Misses:   e.l1.Misses,
+		L2Misses: e.l2.Misses,
+		Cycles:   e.cycles,
+		CF:       e.tr.ContributionFactor(rcd.DefaultThreshold),
+	}
 }

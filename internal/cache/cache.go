@@ -90,8 +90,32 @@ type Result struct {
 // stores are treated alike (allocate-on-miss, no write-back traffic), which
 // matches the paper's use of Dinero for miss-sequence extraction.
 func (c *Cache) Access(addr uint64) Result {
+	hit, set, victimTag, evicted := c.access(addr)
+	if hit {
+		return Result{Hit: true, Set: set}
+	}
+	res := Result{Set: set}
+	if evicted {
+		res.Evicted = true
+		res.Victim = c.Geom.Compose(victimTag, set, 0)
+	}
+	return res
+}
+
+// AccessHit simulates a reference to addr and reports only whether it hit.
+// It is the inner-loop variant of Access for batch consumers (the PMU
+// sampler, the advisor's sweep evaluator) that never look at the victim:
+// state updates and statistics are identical, but no Result is materialized
+// and the evicted line address is never reconstructed.
+func (c *Cache) AccessHit(addr uint64) bool {
+	hit, _, _, _ := c.access(addr)
+	return hit
+}
+
+// access is the shared simulation core of Access and AccessHit.
+func (c *Cache) access(addr uint64) (hit bool, set int, victimTag uint64, evicted bool) {
 	c.clock++
-	set := c.Geom.Set(addr)
+	set = c.Geom.Set(addr)
 	tag := c.Geom.Tag(addr)
 	ways := c.sets[set*c.Geom.Ways : (set+1)*c.Geom.Ways]
 
@@ -102,7 +126,7 @@ func (c *Cache) Access(addr uint64) Result {
 			if c.policy == LRU {
 				ways[i].stamp = c.clock
 			}
-			return Result{Hit: true, Set: set}
+			return true, set, 0, false
 		}
 	}
 
@@ -136,13 +160,9 @@ func (c *Cache) Access(addr uint64) Result {
 		}
 	}
 
-	res := Result{Set: set}
-	if ways[victim].valid {
-		res.Evicted = true
-		res.Victim = c.Geom.Compose(ways[victim].tag, set, 0)
-	}
+	victimTag, evicted = ways[victim].tag, ways[victim].valid
 	ways[victim] = way{tag: tag, valid: true, stamp: c.clock}
-	return res
+	return false, set, victimTag, evicted
 }
 
 // Contains reports whether the line holding addr is currently resident.

@@ -51,3 +51,32 @@ func TestDeterministicProfileAndAnalysis(t *testing.T) {
 		t.Errorf("serialized analyses differ between identical runs:\n%s\n---\n%s", an1, an2)
 	}
 }
+
+// TestDeterministicThreadedProfile extends the regression to concurrent
+// execution: a multi-threaded profile must serialize identically across
+// runs even though the per-thread samplers race on the scheduler, because
+// every thread owns its sampler and derives its seed from the root seed
+// and its stable thread key — never from scheduling order.
+func TestDeterministicThreadedProfile(t *testing.T) {
+	run := func() []byte {
+		cs := workloads.NewNW(256, 16)
+		prof, err := ProfileProgram(cs.Original, ProfileOptions{
+			Period:  pmu.Uniform(171),
+			Seed:    42,
+			Threads: 4,
+			NoTime:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var raw bytes.Buffer
+		if _, err := prof.WriteTo(&raw); err != nil {
+			t.Fatal(err)
+		}
+		return raw.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Errorf("threaded profiles differ between identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+}

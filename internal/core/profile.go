@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/mem"
+	"repro/internal/parsim"
 	"repro/internal/pmu"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -120,12 +121,18 @@ func ProfileProgram(p *workloads.Program, opts ProfileOptions) (*Profile, error)
 
 	// Threads run concurrently, as they would under libmonitor: each gets
 	// a private sampler (its own L1 model, RNG phase and sample buffer),
-	// so the result is deterministic regardless of scheduling.
+	// so the result is deterministic regardless of scheduling. Per-thread
+	// seeds follow the engine's derivation scheme (root ⊕ stable task
+	// key), decorrelating thread sampling phases even for adjacent roots.
 	start := time.Now()
 	samplers := make([]*pmu.Sampler, o.Threads)
 	var wg sync.WaitGroup
 	for tid := 0; tid < o.Threads; tid++ {
-		s := pmu.NewSampler(pmu.Config{Geom: o.Geom, Period: o.Period, Seed: o.Seed + int64(tid), Burst: o.Burst})
+		seed := o.Seed
+		if tid > 0 {
+			seed = parsim.DeriveSeed(o.Seed, fmt.Sprintf("thread/%d", tid))
+		}
+		s := pmu.NewSampler(pmu.Config{Geom: o.Geom, Period: o.Period, Seed: seed, Burst: o.Burst})
 		samplers[tid] = s
 		wg.Add(1)
 		go func(tid int) {

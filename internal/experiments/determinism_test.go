@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/parsim"
+)
+
+// atWorkers runs fn with the process-default sweep worker count pinned to
+// n, restoring the GOMAXPROCS default afterwards.
+func atWorkers(n int, fn func()) {
+	parsim.SetDefaultWorkers(n)
+	defer parsim.SetDefaultWorkers(0)
+	fn()
+}
+
+// render captures an experiment's full observable output — the rendered
+// report text plus the JSON serialization of its structured rows — so a
+// byte comparison covers both what users read and what downstream tooling
+// consumes.
+func render(t *testing.T, fn func(w *bytes.Buffer) (any, error)) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rows, err := fn(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(buf.Bytes(), raw...)
+}
+
+// TestExperimentsSerialParallelIdentical is the engine-level determinism
+// regression: every experiment routed through the sweep executor must
+// produce byte-identical reports at -j 1 and -j 8. A failure here means a
+// task picked up shared state (an RNG, a map, an accumulator) whose value
+// depends on scheduling.
+func TestExperimentsSerialParallelIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(w *bytes.Buffer) (any, error)
+	}{
+		{"fig7", func(w *bytes.Buffer) (any, error) { return Fig7(w, Quick) }},
+		{"fig9", func(w *bytes.Buffer) (any, error) { return Fig9(w, Quick) }},
+		{"table3", func(w *bytes.Buffer) (any, error) { return Table3(w, Quick) }},
+		{"staticconf", func(w *bytes.Buffer) (any, error) { return StaticConf(w, Quick) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var serial, parallel []byte
+			atWorkers(1, func() { serial = render(t, tc.fn) })
+			atWorkers(8, func() { parallel = render(t, tc.fn) })
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("%s output differs between -j1 and -j8 (%d vs %d bytes)",
+					tc.name, len(serial), len(parallel))
+			}
+		})
+	}
+}

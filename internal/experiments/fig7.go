@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/parsim"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -20,18 +21,27 @@ type Fig7Row struct {
 // paper's high-accuracy setting (F1 = 1 in Figure 8).
 const Fig7Period = 171
 
+// Fig7Seed is the root seed of the Figure 7 sweep; each kernel's sampler
+// is seeded with parsim.DeriveSeed(Fig7Seed, kernel name).
+const Fig7Seed = 7
+
 // Fig7 profiles the 18 Rodinia-style kernels and returns their RCD CDFs.
 // The paper's finding: Needleman-Wunsch shows ~88% of L1 misses at
-// RCD <= 8, all other applications only 10-20%.
+// RCD <= 8, all other applications only 10-20%. The kernels profile in
+// parallel on the sweep executor — each task owns its program, sampler and
+// seed, and the rows come back in suite order.
 func Fig7(w io.Writer, scale Scale) ([]Fig7Row, error) {
 	suite := workloads.RodiniaSuite()
-	rows := make([]Fig7Row, 0, len(suite))
-	for _, p := range suite {
-		_, an, err := analyzed(p, Fig7Period, 7)
+	rows, err := parsim.Run(len(suite), parsim.Options{}, func(i int) (Fig7Row, error) {
+		p := suite[i]
+		_, an, err := analyzed(p, Fig7Period, parsim.DeriveSeed(Fig7Seed, p.Name))
 		if err != nil {
-			return nil, err
+			return Fig7Row{}, err
 		}
-		rows = append(rows, Fig7Row{App: p.Name, CF: an.CF, CDF: an.CDF})
+		return Fig7Row{App: p.Name, CF: an.CF, CDF: an.CDF}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if w != nil {
 		t := report.NewTable("Figure 7 — cumulative L1 miss contribution of RCD, Rodinia suite (SP=171)",

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/parsim"
 	"repro/internal/report"
 )
 
@@ -23,25 +24,32 @@ type Fig9Row struct {
 // padding (or interchange), short RCDs account for only a small share of
 // L1 misses.
 func Fig9(w io.Writer, scale Scale) ([]Fig9Row, error) {
-	var rows []Fig9Row
-	for _, cs := range caseStudies(scale) {
-		// Each case is profiled at the period its conflicts need
-		// (HimenoBMT requires high-frequency sampling).
-		_, anO, err := analyzed(cs.Original, cs.ProfilePeriod, 17)
+	// One sweep task per case study (both variants inside the task, so no
+	// two workers ever touch the same Program). Each case is profiled at
+	// the period its conflicts need (HimenoBMT requires high-frequency
+	// sampling), with a seed derived from the case name.
+	cases := caseStudies(scale)
+	rows, err := parsim.Run(len(cases), parsim.Options{}, func(i int) (Fig9Row, error) {
+		cs := cases[i]
+		seed := parsim.DeriveSeed(17, cs.Name)
+		_, anO, err := analyzed(cs.Original, cs.ProfilePeriod, seed)
 		if err != nil {
-			return nil, err
+			return Fig9Row{}, err
 		}
-		_, anP, err := analyzed(cs.Optimized, cs.ProfilePeriod, 17)
+		_, anP, err := analyzed(cs.Optimized, cs.ProfilePeriod, seed)
 		if err != nil {
-			return nil, err
+			return Fig9Row{}, err
 		}
-		rows = append(rows, Fig9Row{
+		return Fig9Row{
 			App:     cs.Name,
 			CFOrig:  anO.CF,
 			CFOpt:   anP.CF,
 			CDFOrig: anO.CDF,
 			CDFOpt:  anP.CDF,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if w != nil {
 		t := report.NewTable("Figure 9 — short-RCD (<=8) L1 miss contribution before/after optimization",

@@ -6,12 +6,36 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/parsim"
 	"repro/internal/rcd"
 	"repro/internal/report"
 	"repro/internal/staticconf"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
+
+// classifySink feeds the exact 3C classifier and the RCD tracker from a
+// reference stream, consuming batches to keep the ground-truth replay off
+// the per-ref dispatch path.
+type classifySink struct {
+	g  mem.Geometry
+	cl *cache.Classifier
+	tr *rcd.Tracker
+}
+
+// Ref implements trace.Sink.
+func (s *classifySink) Ref(r trace.Ref) {
+	if s.cl.Access(r.Addr) != cache.Hit {
+		s.tr.Observe(s.g.Set(r.Addr))
+	}
+}
+
+// RefBatch implements trace.BatchSink.
+func (s *classifySink) RefBatch(refs []trace.Ref) {
+	for i := range refs {
+		s.Ref(refs[i])
+	}
+}
 
 // StaticConfRow is one kernel variant in the static-vs-dynamic comparison:
 // the analyzer's compile-time verdict against the exact-simulation ground
@@ -92,27 +116,26 @@ func StaticConf(w io.Writer, scale Scale) (*StaticConfResult, error) {
 		}
 	}
 
-	res := &StaticConfResult{}
-	for _, v := range variants {
+	// Every confusion-matrix entry is an independent (analyze, simulate)
+	// pair, so the variants fan out across the sweep executor; rows come
+	// back in variant order and the confusion counts are tallied serially
+	// afterwards, keeping the matrix identical at any worker count.
+	rows, err := parsim.Run(len(variants), parsim.Options{}, func(i int) (StaticConfRow, error) {
+		v := variants[i]
 		if v.prog.Spec == nil {
-			return nil, fmt.Errorf("staticconf: %s declares no access spec", v.app)
+			return StaticConfRow{}, fmt.Errorf("staticconf: %s declares no access spec", v.app)
 		}
 		sr, err := staticconf.Analyze(v.prog.Spec, g, staticconf.Options{})
 		if err != nil {
-			return nil, fmt.Errorf("staticconf: %s: %w", v.app, err)
+			return StaticConfRow{}, fmt.Errorf("staticconf: %s: %w", v.app, err)
 		}
 
-		cl := cache.NewClassifier(g)
-		tr := rcd.New(g.Sets)
-		v.prog.Run(trace.SinkFunc(func(r trace.Ref) {
-			if cl.Access(r.Addr) != cache.Hit {
-				tr.Observe(g.Set(r.Addr))
-			}
-		}))
-		ratio := cl.ConflictRatio()
-		exactCF := tr.ContributionFactor(rcd.DefaultThreshold)
+		sink := &classifySink{g: g, cl: cache.NewClassifier(g), tr: rcd.New(g.Sets)}
+		v.prog.Run(sink)
+		ratio := sink.cl.ConflictRatio()
+		exactCF := sink.tr.ContributionFactor(rcd.DefaultThreshold)
 
-		row := StaticConfRow{
+		return StaticConfRow{
 			App:           v.app,
 			Static:        sr.Conflict,
 			Dynamic:       ratio >= dynConflictRatioMin || exactCF >= dynExactCFMin,
@@ -120,8 +143,14 @@ func StaticConf(w io.Writer, scale Scale) (*StaticConfResult, error) {
 			ExactCF:       exactCF,
 			ConflictRatio: ratio,
 			Reason:        sr.Reason,
-		}
-		res.Rows = append(res.Rows, row)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &StaticConfResult{Rows: rows}
+	for _, row := range rows {
 		switch {
 		case row.Static && row.Dynamic:
 			res.TP++

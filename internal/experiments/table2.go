@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/core"
+	"repro/internal/parsim"
 	"repro/internal/pmu"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -27,45 +28,47 @@ type Table2Row struct {
 }
 
 // Table2 runs the six case studies through the profiler and the overhead
-// models. Paper medians for comparison: simulation 264x for target loops,
-// CCProf 1.37x whole-application.
+// models, one sweep task per case study. Paper medians for comparison:
+// simulation 264x for target loops, CCProf 1.37x whole-application.
 func Table2(w io.Writer, scale Scale) ([]Table2Row, error) {
 	om := core.DefaultOverheadModel()
-	var rows []Table2Row
-	for _, cs := range caseStudies(scale) {
+	cases := caseStudies(scale)
+	rows, err := parsim.Run(len(cases), parsim.Options{}, func(i int) (Table2Row, error) {
+		cs := cases[i]
 		p := cs.Original
 
 		// Attribution run at the period this case needs for detection
 		// (HimenoBMT's short conflict periods force high-frequency
 		// sampling, §6.6).
-		_, an, err := analyzed(p, cs.ProfilePeriod, 3)
+		_, an, err := analyzed(p, cs.ProfilePeriod, parsim.DeriveSeed(3, cs.Name))
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		target, _ := an.TargetLoop(cs.TargetLoop)
 
 		// Overhead run: the recommended period (1212) unless the case
 		// requires faster sampling to be detectable at all — matching
 		// how the paper's Table 2 reports 27x for HimenoBMT and ~1.3x
-		// elsewhere. Wall-clock timing enabled.
+		// elsewhere. Wall-clock timing enabled (and hence perturbed by
+		// concurrent tasks; only the modeled overheads are reported).
 		overheadPeriod := uint64(pmu.DefaultPeriod)
 		if cs.ProfilePeriod < Fig7Period {
 			overheadPeriod = cs.ProfilePeriod
 		}
 		prof, err := core.ProfileProgram(p, core.ProfileOptions{
 			Period: pmu.Uniform(overheadPeriod),
-			Seed:   5,
+			Seed:   parsim.DeriveSeed(5, cs.Name),
 		})
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 
 		loopRefs, totalRefs, err := loopRefShare(p, cs.TargetLoop)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 
-		rows = append(rows, Table2Row{
+		return Table2Row{
 			App:              cs.Name,
 			TargetLoop:       cs.TargetLoop,
 			LoopContribution: target.Contribution,
@@ -73,7 +76,10 @@ func Table2(w io.Writer, scale Scale) ([]Table2Row, error) {
 			CCProfOverhead:   om.ProfilingOf(prof),
 			MeasuredOverhead: prof.MeasuredOverhead(),
 			ActiveInnerLoops: an.ActiveInnerLoops,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	if w != nil {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/parsim"
 	"repro/internal/report"
 )
 
@@ -46,8 +47,13 @@ func Table3(w io.Writer, scale Scale) ([]Table3Row, error) {
 		ScaledMachine(mem.Broadwell(), 16),
 		ScaledMachine(mem.Skylake(), 16),
 	}
-	var rows []Table3Row
-	for _, cs := range caseStudies(scale) {
+	// One sweep task per case study; both machines simulate inside the
+	// task because they replay the same Program instances. The per-task
+	// row pairs are flattened in case order, preserving the serial layout.
+	cases := caseStudies(scale)
+	perCase, err := parsim.Run(len(cases), parsim.Options{}, func(i int) ([]Table3Row, error) {
+		cs := cases[i]
+		rows := make([]Table3Row, 0, len(machines))
 		for _, m := range machines {
 			threads := m.Threads
 			if !cs.Parallel {
@@ -68,6 +74,14 @@ func Table3(w io.Writer, scale Scale) ([]Table3Row, error) {
 				LLCRed:  cache.Reduction(orig, opt, cache.LevelLLC),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table3Row
+	for _, pair := range perCase {
+		rows = append(rows, pair...)
 	}
 	if w != nil {
 		t := report.NewTable("Table 3 — speedup and cache miss reduction after optimization",

@@ -1,0 +1,140 @@
+// Package parsim is the deterministic parallel simulation engine: it fans
+// independent (workload, geometry, pad) simulation tasks across a worker
+// pool and reassembles their results in canonical task order, so a sweep
+// run at -j 8 produces byte-identical reports to the same sweep at -j 1.
+//
+// Determinism rests on two rules the package enforces or supports:
+//
+//  1. Tasks share nothing. Each task builds its own workload, cache and
+//     sampler instances; parsim only schedules and collects. Results land
+//     at their task's index regardless of completion order, and errors are
+//     reported for the lowest failing index, which is the error a serial
+//     loop would have hit first.
+//
+//  2. Randomness is derived, not shared. A task that needs an RNG seeds it
+//     with DeriveSeed(root, key) where key is a stable task name — never
+//     with a shared RNG, a worker id, or anything scheduling-dependent.
+package parsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the pool size used when Options.Workers is 0.
+// 0 means "use GOMAXPROCS"; it is set process-wide by the -j flag of
+// cmd/ccprof and cmd/experiments.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default pool size used when
+// Options.Workers is 0. n <= 0 restores the GOMAXPROCS default.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the resolved default pool size.
+func DefaultWorkers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Options configures one Run.
+type Options struct {
+	// Workers is the pool size; 0 selects DefaultWorkers().
+	Workers int
+}
+
+// A TaskError wraps the error of one failed task with its index, so a
+// sweep's failure report names the same task no matter how many workers
+// raced past it.
+type TaskError struct {
+	Index int
+	Err   error
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("parsim: task %d: %v", e.Index, e.Err)
+}
+
+// Unwrap returns the underlying task error.
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// Run executes fn(0) … fn(n-1) on a worker pool and returns the results in
+// index order. Every task runs to completion even when another task fails
+// (tasks are independent simulations; partial sweeps would make the
+// surviving results depend on scheduling). On failure Run still returns the
+// full result slice — failed indexes hold the zero value — together with a
+// TaskError for the lowest failing index.
+//
+// fn must not share mutable state across indexes; it may be called from
+// multiple goroutines concurrently, but never twice for the same index.
+func Run[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	if workers == 1 {
+		// Serial fallback: same semantics, no goroutines. This is the
+		// path -j 1 and GOMAXPROCS=1 CI exercise against the pool.
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+		return results, firstError(errs)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstError(errs)
+}
+
+// firstError returns a TaskError for the lowest failing index, or nil.
+func firstError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return &TaskError{Index: i, Err: err}
+		}
+	}
+	return nil
+}
+
+// DeriveSeed derives a task RNG seed from a root seed and a stable task
+// key: seed = root ⊕ FNV-1a(key). Distinct keys decorrelate the tasks'
+// sampling phases; the same (root, key) pair always yields the same seed,
+// so results do not depend on worker count or scheduling order.
+func DeriveSeed(root int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return root ^ int64(h.Sum64())
+}

@@ -1,0 +1,132 @@
+package parsim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunOrdersResults checks that results land at their task index no
+// matter how workers interleave: many more tasks than workers, each task
+// yielding goroutines mid-flight to shuffle completion order.
+func TestRunOrdersResults(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, 3, 8, n + 7} {
+		res, err := Run(n, Options{Workers: workers}, func(i int) (int, error) {
+			runtime.Gosched()
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(res), n)
+		}
+		for i, v := range res {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunErrorPropagation: a failing task must not stop the sweep, must not
+// corrupt other tasks' results, and the reported error must be the lowest
+// failing index regardless of worker count or completion order.
+func TestRunErrorPropagation(t *testing.T) {
+	const n = 100
+	boom := errors.New("boom")
+	fails := map[int]bool{12: true, 37: true, 99: true}
+	for _, workers := range []int{1, 4, 16} {
+		var ran atomic.Int64
+		res, err := Run(n, Options{Workers: workers}, func(i int) (int, error) {
+			ran.Add(1)
+			runtime.Gosched()
+			if fails[i] {
+				return 0, fmt.Errorf("task %d: %w", i, boom)
+			}
+			return i + 1, nil
+		})
+		if got := ran.Load(); got != n {
+			t.Errorf("workers=%d: only %d/%d tasks ran", workers, got, n)
+		}
+		var te *TaskError
+		if !errors.As(err, &te) {
+			t.Fatalf("workers=%d: error %v is not a TaskError", workers, err)
+		}
+		if te.Index != 12 {
+			t.Errorf("workers=%d: reported index %d, want lowest failing index 12", workers, te.Index)
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: error chain lost the cause: %v", workers, err)
+		}
+		for i, v := range res {
+			want := i + 1
+			if fails[i] {
+				want = 0 // failed tasks hold the zero value
+			}
+			if v != want {
+				t.Errorf("workers=%d: result[%d] = %d, want %d", workers, i, v, want)
+			}
+		}
+	}
+}
+
+// TestRunWorkerIndependence pins the core determinism property: the result
+// slice is identical for every worker count, including the serial path.
+func TestRunWorkerIndependence(t *testing.T) {
+	const n = 64
+	task := func(i int) (int64, error) {
+		return DeriveSeed(42, fmt.Sprintf("task/%d", i)), nil
+	}
+	want, err := Run(n, Options{Workers: 1}, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 8} {
+		got, err := Run(n, Options{Workers: workers}, task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	res, err := Run(0, Options{}, func(int) (int, error) { return 0, nil })
+	if err != nil || res != nil {
+		t.Fatalf("Run(0) = %v, %v; want nil, nil", res, err)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	a := DeriveSeed(7, "nw")
+	b := DeriveSeed(7, "nw")
+	if a != b {
+		t.Error("DeriveSeed is not stable")
+	}
+	if DeriveSeed(7, "nw") == DeriveSeed(7, "srad") {
+		t.Error("distinct keys should decorrelate seeds")
+	}
+	if DeriveSeed(7, "nw") == DeriveSeed(8, "nw") {
+		t.Error("distinct roots should change the seed")
+	}
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Errorf("DefaultWorkers = %d, want 3", got)
+	}
+	SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("DefaultWorkers = %d, want GOMAXPROCS", got)
+	}
+}

@@ -1,0 +1,84 @@
+package pmu
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func strideRefs(n int) []trace.Ref {
+	refs := make([]trace.Ref, n)
+	for i := range refs {
+		// A strided pattern that misses often enough to exercise the
+		// sampling path, not just the L1 probe.
+		refs[i] = trace.Ref{IP: uint64(i % 7), Addr: uint64(i) * 192}
+	}
+	return refs
+}
+
+// TestRefBatchMatchesRef: the batch path must be bit-identical to per-ref
+// delivery — same events, same refs, same sample sequence — including with
+// bursty sampling, or parallel/batched runs would diverge from serial ones.
+func TestRefBatchMatchesRef(t *testing.T) {
+	refs := strideRefs(50000)
+	for _, burst := range []int{0, 4} {
+		cfg := Config{Geom: mem.L1Default(), Period: Uniform(171), Seed: 9, Burst: burst}
+		perRef := NewSampler(cfg)
+		for _, r := range refs {
+			perRef.Ref(r)
+		}
+		batched := NewSampler(cfg)
+		for lo := 0; lo < len(refs); lo += 1024 {
+			hi := lo + 1024
+			if hi > len(refs) {
+				hi = len(refs)
+			}
+			batched.RefBatch(refs[lo:hi])
+		}
+		if perRef.Events != batched.Events || perRef.Refs != batched.Refs {
+			t.Fatalf("burst=%d: counters diverge: events %d vs %d, refs %d vs %d",
+				burst, perRef.Events, batched.Events, perRef.Refs, batched.Refs)
+		}
+		if !reflect.DeepEqual(perRef.Samples, batched.Samples) {
+			t.Fatalf("burst=%d: sample sequences diverge (%d vs %d samples)",
+				burst, len(perRef.Samples), len(batched.Samples))
+		}
+	}
+}
+
+// TestSamplerBatchZeroAlloc asserts the satellite requirement: with the
+// sample buffer pre-grown, consuming a batch allocates nothing — zero
+// allocations per reference on the hot path.
+func TestSamplerBatchZeroAlloc(t *testing.T) {
+	refs := strideRefs(20000)
+	s := NewSampler(Config{Geom: mem.L1Default(), Period: Uniform(171), Seed: 3})
+	s.Grow(len(refs)) // worst case: every reference sampled
+	allocs := testing.AllocsPerRun(5, func() {
+		s.RefBatch(refs)
+	})
+	if allocs != 0 {
+		t.Errorf("batch path allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	s := NewSampler(Config{Geom: mem.L1Default(), Period: Fixed(1), Seed: 1})
+	s.Ref(trace.Ref{Addr: 0})
+	if len(s.Samples) != 1 {
+		t.Fatalf("expected 1 sample, got %d", len(s.Samples))
+	}
+	s.Grow(100)
+	if cap(s.Samples)-len(s.Samples) < 100 {
+		t.Errorf("Grow(100) left headroom %d", cap(s.Samples)-len(s.Samples))
+	}
+	if s.Samples[0].Addr != 0 || len(s.Samples) != 1 {
+		t.Error("Grow lost existing samples")
+	}
+	before := cap(s.Samples)
+	s.Grow(10) // already satisfied; must not reallocate
+	if cap(s.Samples) != before {
+		t.Error("Grow reallocated despite sufficient headroom")
+	}
+}

@@ -161,9 +161,20 @@ const DefaultPeriod = 1212
 
 // Ref implements trace.Sink: it simulates the reference against the private
 // L1 and, on every period-th miss event, records a sample.
-func (s *Sampler) Ref(r trace.Ref) {
+func (s *Sampler) Ref(r trace.Ref) { s.ref(r) }
+
+// RefBatch implements trace.BatchSink: the whole slice is consumed in one
+// tight loop, so the per-reference cost is one concrete call on the private
+// L1 instead of an interface dispatch per access.
+func (s *Sampler) RefBatch(refs []trace.Ref) {
+	for i := range refs {
+		s.ref(refs[i])
+	}
+}
+
+func (s *Sampler) ref(r trace.Ref) {
 	s.Refs++
-	if s.l1.Access(r.Addr).Hit {
+	if s.l1.AccessHit(r.Addr) {
 		return
 	}
 	s.Events++
@@ -181,6 +192,20 @@ func (s *Sampler) Ref(r trace.Ref) {
 		s.burst = s.cfg.Burst - 1
 	}
 	s.deliver(r)
+}
+
+// Grow pre-extends the sample buffer to hold n more samples without
+// reallocation, eliminating append churn on the delivery path. Sweeps that
+// know their expected sample count (refs × miss ratio / period) reserve it
+// up front; the zero-alloc guarantee of the batch path is asserted in
+// BenchmarkSamplerBatch and TestSamplerBatchZeroAlloc.
+func (s *Sampler) Grow(n int) {
+	if n <= 0 || cap(s.Samples)-len(s.Samples) >= n {
+		return
+	}
+	grown := make([]Sample, len(s.Samples), len(s.Samples)+n)
+	copy(grown, s.Samples)
+	s.Samples = grown
 }
 
 func (s *Sampler) deliver(r trace.Ref) {

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func refSeq(n int) []Ref {
+	refs := make([]Ref, n)
+	for i := range refs {
+		refs[i] = Ref{IP: uint64(i), Addr: uint64(i) * 64, Write: i%3 == 0}
+	}
+	return refs
+}
+
+// TestBatcherPreservesStream: the batch path must deliver exactly the
+// per-ref stream, in order, for batch-aware and plain consumers alike,
+// across batch sizes that do and do not divide the stream length.
+func TestBatcherPreservesStream(t *testing.T) {
+	refs := refSeq(1000)
+	for _, size := range []int{1, 7, 100, 1000, 4096} {
+		// Batch-aware consumer.
+		var rec Recorder
+		b := NewBatcher(&rec, size)
+		for _, r := range refs {
+			b.Ref(r)
+		}
+		b.Flush()
+		if !reflect.DeepEqual(rec.Refs, refs) {
+			t.Fatalf("size %d: batch-aware consumer saw a different stream", size)
+		}
+
+		// Plain SinkFunc consumer (compat shim).
+		var got []Ref
+		b = NewBatcher(SinkFunc(func(r Ref) { got = append(got, r) }), size)
+		for _, r := range refs {
+			b.Ref(r)
+		}
+		b.Flush()
+		if !reflect.DeepEqual(got, refs) {
+			t.Fatalf("size %d: SinkFunc consumer saw a different stream", size)
+		}
+	}
+}
+
+// TestBatcherForwardsBatches: a Batcher receiving batches must flush its
+// own buffer first so ordering survives mixed Ref/RefBatch producers.
+func TestBatcherForwardsBatches(t *testing.T) {
+	var rec Recorder
+	b := NewBatcher(&rec, 16)
+	b.Ref(Ref{IP: 1})
+	b.RefBatch([]Ref{{IP: 2}, {IP: 3}})
+	b.Ref(Ref{IP: 4})
+	b.Flush()
+	want := []uint64{1, 2, 3, 4}
+	if len(rec.Refs) != len(want) {
+		t.Fatalf("got %d refs, want %d", len(rec.Refs), len(want))
+	}
+	for i, r := range rec.Refs {
+		if r.IP != want[i] {
+			t.Fatalf("ref %d has IP %d, want %d", i, r.IP, want[i])
+		}
+	}
+}
+
+// TestCounterBatch: the vectorized counter must agree with per-ref counting.
+func TestCounterBatch(t *testing.T) {
+	refs := refSeq(500)
+	var perRef, batched Counter
+	for _, r := range refs {
+		perRef.Ref(r)
+	}
+	batched.RefBatch(refs)
+	if perRef != batched {
+		t.Errorf("batch count %+v != per-ref count %+v", batched, perRef)
+	}
+}
+
+// TestLimitBatch: Limit must truncate mid-batch at exactly N references.
+func TestLimitBatch(t *testing.T) {
+	refs := refSeq(100)
+	var rec Recorder
+	l := &Limit{N: 42, Next: &rec}
+	l.RefBatch(refs[:30])
+	l.RefBatch(refs[30:])
+	if rec.Len() != 42 {
+		t.Fatalf("limit passed %d refs, want 42", rec.Len())
+	}
+	l.RefBatch(refs)
+	if rec.Len() != 42 {
+		t.Fatalf("limit leaked refs after saturation: %d", rec.Len())
+	}
+}
+
+// TestFilterBatch: Filter must apply Keep per reference on the batch path.
+func TestFilterBatch(t *testing.T) {
+	refs := refSeq(100)
+	var want, got Recorder
+	f := Filter{Keep: func(r Ref) bool { return !r.Write }, Next: &want}
+	for _, r := range refs {
+		f.Ref(r)
+	}
+	f.Next = &got
+	f.RefBatch(refs)
+	if !reflect.DeepEqual(got.Refs, want.Refs) {
+		t.Errorf("batch filter kept %d refs, per-ref kept %d", got.Len(), want.Len())
+	}
+}
+
+// TestTeeBatch: Tee must fan a batch out to batch-aware and plain sinks.
+func TestTeeBatch(t *testing.T) {
+	refs := refSeq(64)
+	var rec Recorder
+	var cnt Counter
+	var plain []Ref
+	sink := Tee(&rec, &cnt, SinkFunc(func(r Ref) { plain = append(plain, r) }))
+	Emit(sink, refs)
+	if !reflect.DeepEqual(rec.Refs, refs) {
+		t.Error("tee: recorder missed refs")
+	}
+	if cnt.Total() != uint64(len(refs)) {
+		t.Errorf("tee: counter saw %d refs, want %d", cnt.Total(), len(refs))
+	}
+	if !reflect.DeepEqual(plain, refs) {
+		t.Error("tee: plain sink missed refs")
+	}
+}
+
+// TestEmitFallback: Emit must deliver per-ref to sinks without batch
+// support.
+func TestEmitFallback(t *testing.T) {
+	refs := refSeq(10)
+	var got []Ref
+	Emit(SinkFunc(func(r Ref) { got = append(got, r) }), refs)
+	if !reflect.DeepEqual(got, refs) {
+		t.Error("Emit fallback dropped or reordered refs")
+	}
+}

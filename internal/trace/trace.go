@@ -46,8 +46,8 @@ func (f SinkFunc) Ref(r Ref) { f(r) }
 
 // Discard is a Sink that drops every reference. It is useful for measuring
 // the bare cost of running a workload's loop nest (the "no profiling"
-// baseline in overhead experiments).
-var Discard Sink = SinkFunc(func(Ref) {})
+// baseline in overhead experiments). It consumes batches natively.
+var Discard Sink = discardSink{}
 
 // Counter counts references flowing through it. The zero value is ready.
 type Counter struct {
@@ -100,11 +100,10 @@ type Recorder struct {
 // Ref implements Sink.
 func (rec *Recorder) Ref(r Ref) { rec.Refs = append(rec.Refs, r) }
 
-// Replay feeds the recorded stream into sink.
+// Replay feeds the recorded stream into sink, as one batch when sink
+// supports batch delivery.
 func (rec *Recorder) Replay(sink Sink) {
-	for _, r := range rec.Refs {
-		sink.Ref(r)
-	}
+	Emit(sink, rec.Refs)
 }
 
 // Len returns the number of recorded references.

@@ -66,17 +66,29 @@ func NewProgram(name string, bin *objfile.Binary, ar *alloc.Arena,
 }
 
 // Run emits the full sequential reference stream.
-func (p *Program) Run(sink trace.Sink) { p.runThread(0, 1, sink) }
+func (p *Program) Run(sink trace.Sink) { p.RunThread(0, 1, sink) }
 
 // RunThread emits the reference stream of thread tid out of threads.
 // Threads partition the kernel's outermost parallel dimension; a thread
 // with no work emits nothing.
+//
+// When sink consumes batches (trace.BatchSink), the references are staged
+// through a trace.Batcher and delivered in fixed-size slices — one dynamic
+// dispatch per batch on the consumer side instead of one per access. Plain
+// sinks (including trace.SinkFunc adapters) receive the unchanged per-ref
+// stream; either way the delivered sequence is identical.
 func (p *Program) RunThread(tid, threads int, sink trace.Sink) {
 	if threads < 1 {
 		threads = 1
 	}
 	if tid < 0 || tid >= threads {
 		panic(fmt.Sprintf("workloads: thread %d out of range [0,%d)", tid, threads))
+	}
+	if bs, ok := sink.(trace.BatchSink); ok {
+		b := trace.NewBatcher(bs, 0)
+		p.runThread(tid, threads, b)
+		b.Flush()
+		return
 	}
 	p.runThread(tid, threads, sink)
 }
