@@ -227,6 +227,23 @@ func BenchmarkAblationReplacement(b *testing.B) {
 	}
 }
 
+// BenchmarkSpecgenExtraction regenerates the extracted-spec confusion
+// matrix (static verdicts from specs the source-level extractor derives
+// with no hand-written input, against exact simulation) and reports the
+// extraction cost per kernel variant.
+func BenchmarkSpecgenExtraction(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Specgen(nil, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(b, i, func() error { _, err := experiments.Specgen(os.Stdout, scale); return err })
+		b.ReportMetric(100*res.Agreement(), "agree%")
+		b.ReportMetric(float64(res.ExtractTime.Microseconds())/float64(len(res.Rows)), "µs/extract")
+	}
+}
+
 // Micro-benchmarks of the substrates (throughput per reference).
 
 // BenchmarkSamplerThroughput measures the simulated-PMU cost per reference

@@ -1,0 +1,116 @@
+// Command conflint lints Go packages for conflict-prone cache access
+// patterns: it interprets every niladic kernel constructor with the
+// spec-extraction machinery, derives each kernel's affine access spec,
+// and reports power-of-two camping strides, set-camping row sizes,
+// aliased bases marching in lockstep, and outright conflict verdicts
+// from the static analyzer.
+//
+// Usage:
+//
+//	conflint [-fail] [-v] [packages]
+//
+// Packages are directories; the Go-style wildcard dir/... lints every
+// package below dir (skipping testdata, vendor, and hidden directories).
+// With no arguments, ./... is linted. Packages without lintable kernels
+// are silently skipped, so running conflint over a whole module is cheap.
+// With -fail, the exit status is 1 when any finding is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/specgen"
+)
+
+func main() {
+	fail := flag.Bool("fail", false, "exit with status 1 when findings are reported")
+	verbose := flag.Bool("v", false, "also list linted kernels and skipped functions")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dirs, err := expand(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+		os.Exit(2)
+	}
+
+	g := mem.L1Default()
+	kernels, findings := 0, 0
+	for _, dir := range dirs {
+		rep, err := specgen.LintDir(dir, g)
+		if err != nil {
+			// Not a parsable Go package (or empty): nothing to lint.
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "conflint: skipping %s: %v\n", dir, err)
+			}
+			continue
+		}
+		kernels += len(rep.Kernels)
+		findings += len(rep.Findings)
+		for _, f := range rep.Findings {
+			fmt.Printf("%s: %s\n", dir, f)
+		}
+		if *verbose {
+			for _, k := range rep.Kernels {
+				fmt.Printf("%s: linted %s (%s): %d findings\n", dir, k.Ctor, k.Kernel, k.Findings)
+			}
+		}
+	}
+	fmt.Printf("conflint: %d kernels linted, %d findings\n", kernels, findings)
+	if *fail && findings > 0 {
+		os.Exit(1)
+	}
+}
+
+// expand resolves the package arguments to a sorted list of directories,
+// handling the dir/... wildcard the way the go tool does.
+func expand(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, arg := range args {
+		root, recursive := strings.CutSuffix(arg, "...")
+		if !recursive {
+			add(filepath.Clean(arg))
+			continue
+		}
+		if root == "" {
+			root = "."
+		}
+		root = filepath.Clean(root)
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -22,6 +22,7 @@ func Registry() map[string]Runner {
 		"table4":     func(w io.Writer, s Scale) error { _, err := Table4(w, s); return err },
 		"baselines":  func(w io.Writer, s Scale) error { _, err := Baselines(w, s); return err },
 		"staticconf": func(w io.Writer, s Scale) error { _, err := StaticConf(w, s); return err },
+		"specgen":    func(w io.Writer, s Scale) error { _, err := Specgen(w, s); return err },
 		"l2ext":      func(w io.Writer, s Scale) error { _, err := L2Extension(w, s); return err },
 		"ablation-burst": func(w io.Writer, s Scale) error {
 			_, err := AblationBurst(w, s)

@@ -440,3 +440,36 @@ func TestRegistryHasStaticConf(t *testing.T) {
 		t.Error("registry missing staticconf")
 	}
 }
+
+func TestSpecgenShape(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Specgen(&buf, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("got %d rows, want 12 (six case studies, both variants)", len(res.Rows))
+	}
+	// The acceptance bar: verdicts computed from EXTRACTED specs must
+	// agree with exact simulation on all 12 case-study variants — the
+	// extractor is a drop-in replacement for the hand-written specs.
+	if agree := res.TP + res.TN; agree != 12 {
+		t.Errorf("static/dynamic agreement %d/12 from extracted specs; disagreements: %v",
+			agree, res.Disagreements())
+	}
+	for _, row := range res.Rows {
+		if row.Abstained {
+			t.Errorf("%s: extraction abstained on a fully affine case study", row.App)
+		}
+		if row.Accesses == 0 {
+			t.Errorf("%s: empty extracted spec", row.App)
+		}
+	}
+	if res.ExtractTime <= 0 {
+		t.Error("extraction time not measured")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "confusion matrix") || !strings.Contains(out, "spec extraction") {
+		t.Errorf("report missing sections:\n%s", out)
+	}
+}

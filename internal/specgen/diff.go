@@ -1,0 +1,414 @@
+package specgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/staticconf"
+)
+
+// Drift lint: compare an extracted spec against the hand-declared one and
+// report per-array agreement. The comparison is deliberately tolerant of
+// the documented normalizations the extractor applies (per-site accesses
+// instead of hand-merged ones, trip-1 dims dropped, rectangular hulls of
+// wavefront/triangular domains, element-size inference limits): instead of
+// demanding identical Access values it checks, per arena block,
+//
+//   - the distinct-line footprints agree (Jaccard similarity of the
+//     line sets, both clipped to the block's real extent, ≥ JaccardMin);
+//   - the reference volumes agree within [1/VolumeRatioMax, VolumeRatioMax];
+//
+// and layers exact per-access matching on top for field-level detail when
+// an access does line up one-to-one. Hand accesses marked Approx are
+// deliberate rectangularizations of data-dependent or non-rectangular
+// traffic; their arrays are compared by volume only, and may be missing
+// from the extraction entirely as long as the extractor reported
+// unanalyzable sites (the honest outcome for data-dependent kernels).
+
+const (
+	// JaccardMin is the minimum clipped line-set similarity per array.
+	JaccardMin = 0.90
+	// VolumeRatioMax bounds extracted/hand reference-volume disagreement
+	// in either direction. Per-site extraction multiply-counts traffic a
+	// hand spec models once (NW touches its block-local buffers at nine
+	// sites per pass, ~9× the hand volume), hence the generous bound; it
+	// still catches order-of-magnitude synthesis bugs.
+	VolumeRatioMax = 16.0
+	// diffIterCap bounds the per-access footprint enumeration; accesses
+	// past the cap fall back to volume-only comparison.
+	diffIterCap = 1 << 22
+)
+
+// ArrayDrift is the comparison verdict for one arena block.
+type ArrayDrift struct {
+	Array       string
+	OK          bool
+	Why         string  // non-empty when !OK
+	Jaccard     float64 // clipped line-set similarity (-1 when volume-only)
+	VolumeRatio float64 // extracted volume / hand volume (0 when no hand refs)
+	VolumeOnly  bool    // Approx hand accesses or enumeration cap hit
+	// Mismatches holds per-field detail from exact per-access matching;
+	// informational, does not by itself fail the array.
+	Mismatches []string
+}
+
+// DriftReport is the full lint result for one kernel.
+type DriftReport struct {
+	Kernel string
+	Arrays []ArrayDrift
+	// Extra lists arrays only the extraction references (usually setup
+	// traffic below the hand spec's "dominant references" bar). Noted,
+	// never failed.
+	Extra []string
+}
+
+// Clean reports whether every compared array agreed.
+func (r *DriftReport) Clean() bool {
+	for _, a := range r.Arrays {
+		if !a.OK {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *DriftReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec drift %s:\n", r.Kernel)
+	for _, a := range r.Arrays {
+		verdict := "ok"
+		if !a.OK {
+			verdict = "DRIFT: " + a.Why
+		}
+		fmt.Fprintf(&b, "  %-22s %s", a.Array, verdict)
+		if a.VolumeRatio > 0 {
+			fmt.Fprintf(&b, " (volume ×%.2f", a.VolumeRatio)
+			if !a.VolumeOnly {
+				fmt.Fprintf(&b, ", jaccard %.3f", a.Jaccard)
+			}
+			b.WriteString(")")
+		}
+		b.WriteString("\n")
+		for _, m := range a.Mismatches {
+			fmt.Fprintf(&b, "    field: %s\n", m)
+		}
+	}
+	for _, e := range r.Extra {
+		fmt.Fprintf(&b, "  %-22s extraction-only (setup traffic)\n", e)
+	}
+	return b.String()
+}
+
+// Diff compares the extraction against the hand-declared spec.
+func (ex *Extraction) Diff(hand *staticconf.Spec) *DriftReport {
+	rep := &DriftReport{Kernel: ex.Kernel}
+	if hand == nil {
+		return rep
+	}
+
+	blockOf := func(base uint64) (Block, bool) {
+		for _, b := range ex.Blocks {
+			if base >= b.Start && base < b.Start+b.Size {
+				return b, true
+			}
+		}
+		return Block{}, false
+	}
+
+	// Group both sides by containing arena block (names in hand specs are
+	// human labels; bases are ground truth).
+	type side struct{ accs []staticconf.Access }
+	handBy := map[uint64]*side{}
+	extBy := map[uint64]*side{}
+	label := map[uint64]string{}
+	var order []uint64
+	group := func(m map[uint64]*side, accs []staticconf.Access, name func(staticconf.Access) string) {
+		for _, a := range accs {
+			b, ok := blockOf(a.Base)
+			if !ok {
+				// Shouldn't happen: both specs address the same arena.
+				b = Block{Name: name(a), Start: a.Base, Size: 1}
+			}
+			s := m[b.Start]
+			if s == nil {
+				s = &side{}
+				m[b.Start] = s
+				if _, seen := label[b.Start]; !seen {
+					order = append(order, b.Start)
+				}
+			}
+			if label[b.Start] == "" {
+				label[b.Start] = name(a)
+			}
+			s.accs = append(s.accs, a)
+		}
+	}
+	group(handBy, hand.Accesses, func(a staticconf.Access) string { return a.Array })
+	var extAccs []staticconf.Access
+	if ex.Spec != nil {
+		extAccs = ex.Spec.Accesses
+	}
+	group(extBy, extAccs, func(a staticconf.Access) string { return a.Array })
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	for _, start := range order {
+		h, e := handBy[start], extBy[start]
+		if h == nil {
+			rep.Extra = append(rep.Extra, label[start])
+			continue
+		}
+		blk, _ := blockOf(start)
+		var eaccs []staticconf.Access
+		if e != nil {
+			eaccs = e.accs
+		}
+		rep.Arrays = append(rep.Arrays, diffArray(label[start], blk, h.accs, eaccs, ex))
+	}
+	return rep
+}
+
+func diffArray(name string, blk Block, hand, ext []staticconf.Access, ex *Extraction) ArrayDrift {
+	d := ArrayDrift{Array: name, Jaccard: -1}
+	var exact, approx []staticconf.Access
+	for _, a := range hand {
+		if a.Approx {
+			approx = append(approx, a)
+		} else {
+			exact = append(exact, a)
+		}
+	}
+	// When the array mixes exact and approximate hand accesses, the
+	// approximate ones describe traffic the extractor reports as
+	// unanalyzable — compare the exact subset only. An all-approximate
+	// array is compared by volume alone.
+	cmp := hand
+	if len(exact) > 0 && len(approx) > 0 {
+		cmp = exact
+		d.Mismatches = append(d.Mismatches,
+			fmt.Sprintf("%d approximate hand access(es) excluded from the aggregate", len(approx)))
+	}
+	d.VolumeOnly = len(exact) == 0 && len(hand) > 0
+
+	if len(ext) == 0 {
+		if len(exact) == 0 && len(ex.Unanalyzable) > 0 {
+			d.OK = true
+			d.Mismatches = append(d.Mismatches,
+				"approximate hand accesses; extractor reported the sites unanalyzable")
+			return d
+		}
+		d.Why = "array missing from extraction"
+		return d
+	}
+
+	hv, ev := volume(cmp), volume(ext)
+	if hv == 0 {
+		d.OK = true
+		return d
+	}
+	d.VolumeRatio = float64(ev) / float64(hv)
+	if d.VolumeRatio > VolumeRatioMax || d.VolumeRatio < 1/VolumeRatioMax {
+		d.Why = fmt.Sprintf("reference volume drift ×%.2f (hand %d, extracted %d)", d.VolumeRatio, hv, ev)
+		return d
+	}
+
+	if !d.VolumeOnly {
+		hl, hok := lineSet(cmp, blk)
+		el, eok := lineSet(ext, blk)
+		if !hok || !eok {
+			d.VolumeOnly = true
+		} else {
+			d.Jaccard = jaccard(hl, el)
+			if d.Jaccard < JaccardMin {
+				d.Why = fmt.Sprintf("footprint drift: clipped line-set jaccard %.3f (hand %d lines, extracted %d lines)",
+					d.Jaccard, len(hl), len(el))
+				return d
+			}
+		}
+	}
+
+	d.OK = true
+	d.Mismatches = append(d.Mismatches, exactMismatches(cmp, ext)...)
+	return d
+}
+
+// volume counts total references described by the accesses (product of
+// trips, including zero-stride multiplicity dims).
+func volume(accs []staticconf.Access) int64 {
+	var total int64
+	for _, a := range accs {
+		v := int64(1)
+		for _, dm := range a.Dims {
+			if dm.Trip > 1 {
+				v *= int64(dm.Trip)
+			}
+		}
+		total += v
+	}
+	return total
+}
+
+// lineSet enumerates the distinct cache lines the accesses touch, clipped
+// to the block extent. Zero-stride dims add no footprint and are skipped.
+// Returns ok=false when an access exceeds the enumeration cap.
+func lineSet(accs []staticconf.Access, blk Block) (map[int64]struct{}, bool) {
+	lines := map[int64]struct{}{}
+	for _, a := range accs {
+		var walk []staticconf.Dim
+		iters := int64(1)
+		for _, dm := range a.Dims {
+			if dm.Stride != 0 && dm.Trip > 1 {
+				walk = append(walk, dm)
+				iters *= int64(dm.Trip)
+			}
+		}
+		if iters > diffIterCap {
+			return nil, false
+		}
+		elem := int64(a.Elem)
+		if elem < 1 {
+			elem = 1
+		}
+		idx := make([]int, len(walk))
+		for {
+			addr := int64(a.Base)
+			for i, dm := range walk {
+				addr += int64(idx[i]) * dm.Stride
+			}
+			for b := addr; b < addr+elem; b += 64 {
+				if u := uint64(b); u >= blk.Start && u < blk.Start+blk.Size {
+					lines[b>>6] = struct{}{}
+				}
+			}
+			if u := uint64(addr + elem - 1); u >= blk.Start && u < blk.Start+blk.Size {
+				lines[(addr+elem-1)>>6] = struct{}{}
+			}
+			i := len(walk) - 1
+			for ; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < walk[i].Trip {
+					break
+				}
+				idx[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	return lines, true
+}
+
+func jaccard(a, b map[int64]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for l := range a {
+		if _, ok := b[l]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// exactMismatches matches hand accesses to extracted ones by base address
+// and reports field-level differences for the pairs that line up. Hand
+// accesses without a base-matching extracted partner are reported too;
+// both kinds are informational (the aggregate check above is the verdict).
+func exactMismatches(hand, ext []staticconf.Access) []string {
+	var out []string
+	used := make([]bool, len(ext))
+	for _, h := range hand {
+		found := -1
+		for i, e := range ext {
+			if !used[i] && e.Base == h.Base {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			out = append(out, fmt.Sprintf("%s @%#x: no extracted access at this base (per-site split or merged hull)", h.Array, h.Base))
+			continue
+		}
+		used[found] = true
+		e := ext[found]
+		if !sameDims(h.Dims, e.Dims) {
+			out = append(out, fmt.Sprintf("%s @%#x: Dims hand %v vs extracted %v", h.Array, h.Base, fmtDims(h.Dims), fmtDims(e.Dims)))
+		}
+		if h.Elem != e.Elem {
+			out = append(out, fmt.Sprintf("%s @%#x: Elem hand %d vs extracted %d", h.Array, h.Base, h.Elem, e.Elem))
+		}
+		if h.Window != e.Window {
+			out = append(out, fmt.Sprintf("%s @%#x: Window hand %d vs extracted %d", h.Array, h.Base, h.Window, e.Window))
+		}
+	}
+	return out
+}
+
+// sameDims compares dim multisets after undoing the extractor's two exact
+// rewrites: stream chunking ({s·c, T/c}{s, c} merges back to {s, T}) and
+// trip-1 dim drops.
+func sameDims(a, b []staticconf.Dim) bool {
+	na, nb := normDims(mergeChunks(a)), normDims(mergeChunks(b))
+	if len(na) != len(nb) {
+		return false
+	}
+	for i := range na {
+		if na[i] != nb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeChunks folds adjacent dim pairs where the outer stride equals the
+// inner dim's full extent ({s·c, T/c} directly above {s, c}) back into one
+// dim {s, T·c/c·c}. The rewrite is exact in both directions, so applying
+// it before comparison makes chunked and unchunked walks equal.
+func mergeChunks(dims []staticconf.Dim) []staticconf.Dim {
+	out := append([]staticconf.Dim{}, dims...)
+	for {
+		merged := false
+		for i := 0; i+1 < len(out); i++ {
+			o, in := out[i], out[i+1]
+			if in.Stride != 0 && o.Stride == in.Stride*int64(in.Trip) {
+				out[i] = staticconf.Dim{Stride: in.Stride, Trip: o.Trip * in.Trip}
+				out = append(out[:i+1], out[i+2:]...)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			return out
+		}
+	}
+}
+
+func normDims(dims []staticconf.Dim) []staticconf.Dim {
+	out := make([]staticconf.Dim, 0, len(dims))
+	for _, d := range dims {
+		if d.Trip > 1 {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stride != out[j].Stride {
+			return out[i].Stride < out[j].Stride
+		}
+		return out[i].Trip < out[j].Trip
+	})
+	return out
+}
+
+func fmtDims(dims []staticconf.Dim) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = fmt.Sprintf("{%d×%d}", d.Stride, d.Trip)
+	}
+	return strings.Join(parts, "")
+}

@@ -1,0 +1,89 @@
+package specgen
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func lintTestdata(t *testing.T, pkg string) *LintReport {
+	t.Helper()
+	rep, err := LintDir(filepath.Join("testdata", pkg), mem.L1Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		t.Logf("finding: %s", f)
+	}
+	for fn, why := range rep.Skipped {
+		t.Logf("skipped %s: %s", fn, why)
+	}
+	return rep
+}
+
+// TestLintFlagsPathological pins the lint on the seeded pathologies: the
+// power-of-two column walk must raise both the camping-stride pattern and
+// the analyzer's conflict verdict, the 6144-byte rows must raise the
+// non-power-of-two camping pattern, and the co-aligned streams must raise
+// the aliasing-bases pattern.
+func TestLintFlagsPathological(t *testing.T) {
+	rep := lintTestdata(t, "pathological")
+	if len(rep.Kernels) != 3 {
+		t.Fatalf("linted %d kernels, want 3 (%+v)", len(rep.Kernels), rep.Kernels)
+	}
+	want := map[string]string{ // kernel → finding kind that must be present
+		"repeatedcolumn": FindingPow2Stride,
+		"campingrows":    FindingSetCamping,
+		"aliasedstreams": FindingAliasingBases,
+	}
+	for kernel, kind := range want {
+		if !hasFinding(rep, kernel, kind) {
+			t.Errorf("no %s finding for %s", kind, kernel)
+		}
+	}
+	if !hasFinding(rep, "repeatedcolumn", FindingStaticConflict) {
+		t.Errorf("the repeated column walk must carry the analyzer's conflict verdict")
+	}
+}
+
+// TestLintCleanKernels pins the zero-findings contract on the padded
+// counterparts of the same walks.
+func TestLintCleanKernels(t *testing.T) {
+	rep := lintTestdata(t, "clean")
+	if len(rep.Kernels) != 2 {
+		t.Fatalf("linted %d kernels, want 2 (%+v)", len(rep.Kernels), rep.Kernels)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("clean kernels produced %d findings: %v", len(rep.Findings), rep.Findings)
+	}
+}
+
+// TestLintWorkloadsRuns smoke-tests the lint over the real workload
+// package: the niladic Rodinia constructors must be linted, and the
+// seeded Hotspot pathology (power-of-two rows, §6.1-style) must surface.
+func TestLintWorkloadsRuns(t *testing.T) {
+	dir, err := WorkloadsDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LintDir(dir, mem.L1Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Kernels) < 10 {
+		t.Fatalf("linted only %d kernels of the workload package", len(rep.Kernels))
+	}
+	if len(rep.Findings) == 0 {
+		t.Error("the workload package seeds known pathologies; lint found none")
+	}
+}
+
+func hasFinding(rep *LintReport, kernel, kind string) bool {
+	for _, f := range rep.Findings {
+		if f.Kernel == kernel && f.Kind == kind {
+			return true
+		}
+	}
+	return false
+}

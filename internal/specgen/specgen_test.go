@@ -1,0 +1,340 @@
+package specgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/staticconf"
+	"repro/internal/workloads"
+)
+
+func loadPkg(t *testing.T) *Package {
+	t.Helper()
+	dir, err := WorkloadsDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// caseStudyCtors lists every case-study constructor with quick-scale
+// arguments, paired with the hand-declared builder.
+var caseStudyCtors = []struct {
+	ctor string
+	args []int
+	hand func() *workloads.CaseStudy
+}{
+	{"NewNW", []int{512, 16}, func() *workloads.CaseStudy { return workloads.NewNW(512, 16) }},
+	{"NewFFT", []int{128}, func() *workloads.CaseStudy { return workloads.NewFFT(128) }},
+	{"NewADI", []int{256, 1}, func() *workloads.CaseStudy { return workloads.NewADI(256, 1) }},
+	{"NewTinyDNN", []int{128, 1024, 1}, func() *workloads.CaseStudy { return workloads.NewTinyDNN(128, 1024, 1) }},
+	{"NewKripke", []int{64, 32, 32}, func() *workloads.CaseStudy { return workloads.NewKripke(64, 32, 32) }},
+	{"NewHimeno", []int{16, 16, 64, 1}, func() *workloads.CaseStudy { return workloads.NewHimeno(16, 16, 64, 1) }},
+	{"NewSymmetrizationReps", []int{128, 2}, func() *workloads.CaseStudy { return workloads.NewSymmetrizationReps(128, 2) }},
+}
+
+// rodiniaCtors lists the niladic Rodinia constructors.
+var rodiniaCtors = []string{
+	"Backprop", "BFS", "BTree", "CFD", "Heartwall", "Hotspot",
+	"Hotspot3D", "Kmeans", "LavaMD", "Leukocyte", "LUD", "Myocyte",
+	"NN", "ParticleFilter", "Pathfinder", "SRAD", "Streamcluster",
+}
+
+// dataDependentKernels must come out unanalyzable (at least one site) —
+// the honest verdict for gather/random traffic. Extraction must never
+// invent an affine description for those sites.
+var dataDependentKernels = map[string]bool{
+	"bfs": true, "b+tree": true, "cfd": true, "heartwall": true,
+	"lavaMD": true, "leukocyte": true, "particlefilter": true,
+}
+
+// TestSpecDrift is the spec-drift gate: every hand-declared spec must
+// agree with the extracted one under the drift lint's tolerances. Run by
+// CI as a dedicated step.
+func TestSpecDrift(t *testing.T) {
+	p := loadPkg(t)
+	g := mem.L1Default()
+
+	check := func(t *testing.T, ex *Extraction, hand *staticconf.Spec) {
+		t.Helper()
+		if hand == nil {
+			return
+		}
+		rep := ex.Diff(hand)
+		if !rep.Clean() {
+			t.Errorf("drift detected:\n%s", rep)
+		} else {
+			t.Logf("\n%s", rep)
+		}
+	}
+
+	for _, c := range caseStudyCtors {
+		t.Run(c.ctor, func(t *testing.T) {
+			cse, err := p.ExtractCaseStudy(g, c.ctor, c.args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hand := c.hand()
+			check(t, cse.Original, hand.Original.Spec)
+			check(t, cse.Optimized, hand.Optimized.Spec)
+		})
+	}
+
+	handRodinia := map[string]*staticconf.Spec{}
+	for _, prog := range workloads.RodiniaSuite() {
+		handRodinia[prog.Name] = prog.Spec
+	}
+	for _, ctor := range rodiniaCtors {
+		t.Run(ctor, func(t *testing.T) {
+			ex, err := p.ExtractProgram(g, ctor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, ex, handRodinia[ex.Kernel])
+		})
+	}
+}
+
+// TestDataDependentKernelsUnanalyzable pins that gather/random kernels are
+// reported unanalyzable rather than silently mis-extracted, and that
+// purely affine kernels stay fully analyzable.
+func TestDataDependentKernelsUnanalyzable(t *testing.T) {
+	p := loadPkg(t)
+	g := mem.L1Default()
+	for _, ctor := range rodiniaCtors {
+		t.Run(ctor, func(t *testing.T) {
+			ex, err := p.ExtractProgram(g, ctor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dataDependentKernels[ex.Kernel] {
+				if len(ex.Unanalyzable) == 0 {
+					t.Fatalf("%s is data-dependent but extraction reported no unanalyzable site", ex.Kernel)
+				}
+				for _, s := range ex.Unanalyzable {
+					if s.Why == "" {
+						t.Errorf("unanalyzable site %s has no reason", s.IP)
+					}
+				}
+			} else {
+				if len(ex.Unanalyzable) != 0 {
+					t.Fatalf("%s should be fully affine; unanalyzable: %+v", ex.Kernel, ex.Unanalyzable)
+				}
+				if ex.Spec == nil || len(ex.Spec.Accesses) == 0 {
+					t.Fatalf("%s extracted no accesses", ex.Kernel)
+				}
+			}
+		})
+	}
+}
+
+// TestExtractedSpecsValidate runs the typed staticconf validation over
+// every extracted spec: synthesis must never emit an invalid access.
+func TestExtractedSpecsValidate(t *testing.T) {
+	p := loadPkg(t)
+	g := mem.L1Default()
+	for _, c := range caseStudyCtors {
+		cse, err := p.ExtractCaseStudy(g, c.ctor, c.args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ex := range []*Extraction{cse.Original, cse.Optimized} {
+			if ex.Spec == nil {
+				continue
+			}
+			if err := ex.Spec.Validate(); err != nil {
+				t.Errorf("%s: %v", ex.Kernel, err)
+			}
+		}
+	}
+	for _, ctor := range rodiniaCtors {
+		ex, err := p.ExtractProgram(g, ctor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Spec == nil {
+			continue
+		}
+		if err := ex.Spec.Validate(); err != nil {
+			t.Errorf("%s: %v", ex.Kernel, err)
+		}
+	}
+}
+
+// TestGoldenADI pins the ADI original-variant extraction field for field.
+// ADI is fully rectangular, so extraction must be exact — any change here
+// is a real behavior change in the extractor, not a tolerance issue. The
+// extraction is per reference site (hand specs merge the load and store of
+// u and drop trip-1 outer dims), so the golden lists all ten sites.
+func TestGoldenADI(t *testing.T) {
+	p := loadPkg(t)
+	cse, err := p.ExtractCaseStudy(mem.L1Default(), "NewADI", 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := cse.Original
+	if ex.Spec == nil {
+		t.Fatal("nil extracted spec")
+	}
+	if len(ex.Unanalyzable) != 0 {
+		t.Fatalf("unexpected unanalyzable sites: %+v", ex.Unanalyzable)
+	}
+	// u is at 0x100000, a at 0x180000, b at 0x200000 (256×256 float64
+	// rows, 2048-byte row stride). Column sweep (adi.c:4) walks rows
+	// outer/columns inner; row sweep (adi.c:8) is the transpose.
+	want := []staticconf.Access{
+		{Array: "u", Loop: "adi.c:4", Base: 0x100008, Elem: 8, Window: 1, Dims: []staticconf.Dim{{Stride: 2048, Trip: 256}, {Stride: 8, Trip: 255}}},
+		{Array: "u", Loop: "adi.c:4", Base: 0x100000, Elem: 8, Window: 1, Dims: []staticconf.Dim{{Stride: 2048, Trip: 256}, {Stride: 8, Trip: 255}}},
+		{Array: "a", Loop: "adi.c:4", Base: 0x180008, Elem: 8, Window: 1, Dims: []staticconf.Dim{{Stride: 2048, Trip: 256}, {Stride: 8, Trip: 255}}},
+		{Array: "b", Loop: "adi.c:4", Base: 0x200000, Elem: 8, Window: 1, Dims: []staticconf.Dim{{Stride: 2048, Trip: 256}, {Stride: 8, Trip: 255}}},
+		{Array: "u", Loop: "adi.c:4", Base: 0x100008, Elem: 8, Window: 1, Dims: []staticconf.Dim{{Stride: 2048, Trip: 256}, {Stride: 8, Trip: 255}}},
+		{Array: "u", Loop: "adi.c:8", Base: 0x100800, Elem: 8, Window: 1, Dims: []staticconf.Dim{{Stride: 8, Trip: 256}, {Stride: 2048, Trip: 255}}},
+		{Array: "u", Loop: "adi.c:8", Base: 0x100000, Elem: 8, Window: 1, Dims: []staticconf.Dim{{Stride: 8, Trip: 256}, {Stride: 2048, Trip: 255}}},
+		{Array: "a", Loop: "adi.c:8", Base: 0x180800, Elem: 8, Window: 1, Dims: []staticconf.Dim{{Stride: 8, Trip: 256}, {Stride: 2048, Trip: 255}}},
+		{Array: "b", Loop: "adi.c:8", Base: 0x200000, Elem: 8, Window: 1, Dims: []staticconf.Dim{{Stride: 8, Trip: 256}, {Stride: 2048, Trip: 255}}},
+		{Array: "u", Loop: "adi.c:8", Base: 0x100800, Elem: 8, Window: 1, Dims: []staticconf.Dim{{Stride: 8, Trip: 256}, {Stride: 2048, Trip: 255}}},
+	}
+	got := ex.Spec.Accesses
+	if len(got) != len(want) {
+		t.Fatalf("%d extracted accesses, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Array != w.Array || g.Loop != w.Loop || g.Base != w.Base ||
+			g.Elem != w.Elem || g.Window != w.Window || !sameDims(g.Dims, w.Dims) {
+			t.Errorf("access %d:\n got  %+v\n want %+v", i, g, w)
+		}
+	}
+
+	// Every hand-declared access must have an exact extracted partner
+	// (same base, dims modulo trip-1 drops, elem): the extraction is a
+	// superset of the hand spec at per-site granularity.
+	hand := workloads.NewADI(256, 1)
+	for _, h := range hand.Original.Spec.Accesses {
+		matched := false
+		for _, g := range got {
+			if g.Base == h.Base && g.Elem == h.Elem && sameDims(g.Dims, h.Dims) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("hand access %s @%#x %s has no exact extracted partner", h.Array, h.Base, fmtDims(h.Dims))
+		}
+	}
+}
+
+// TestExtractionBlocks pins that extraction exposes the arena allocations
+// (the drift lint and trace verifier clip footprints against them).
+func TestExtractionBlocks(t *testing.T) {
+	p := loadPkg(t)
+	ex, err := p.ExtractProgram(mem.L1Default(), "Hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Blocks) < 3 {
+		t.Fatalf("hotspot should allocate ≥3 arrays, got %+v", ex.Blocks)
+	}
+	names := make([]string, len(ex.Blocks))
+	for i, b := range ex.Blocks {
+		if b.Size == 0 {
+			t.Errorf("block %s has zero size", b.Name)
+		}
+		names[i] = b.Name
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"temp", "power", "result"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing block %q in %v", want, names)
+		}
+	}
+}
+
+// TestTraceVerifiesHandSpecs replays every spec-carrying workload at quick
+// scale and checks the hand-declared spec against the observed stream —
+// the regression net under the declared specs themselves.
+func TestTraceVerifiesHandSpecs(t *testing.T) {
+	var progs []*workloads.Program
+	for _, c := range caseStudyCtors {
+		cs := c.hand()
+		progs = append(progs, cs.Original, cs.Optimized)
+	}
+	progs = append(progs, workloads.RodiniaSuite()...)
+	for _, prog := range progs {
+		if prog.Spec == nil {
+			continue
+		}
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			rep := VerifyTrace(prog, prog.Spec, false)
+			if !rep.Clean() {
+				t.Errorf("hand spec disagrees with trace:\n%s", rep)
+			} else {
+				t.Logf("\n%s", rep)
+			}
+		})
+	}
+}
+
+// TestTraceVerifiesExtractedSpecs replays the same workloads and checks
+// the EXTRACTED specs against the observed stream: the extractor's output
+// must describe the addresses the program really emits, independently of
+// the hand specs. Extractions with unanalyzable sites are verified as
+// partial (coverage direction skipped, volume and phantom-footprint kept).
+func TestTraceVerifiesExtractedSpecs(t *testing.T) {
+	p := loadPkg(t)
+	g := mem.L1Default()
+
+	verify := func(t *testing.T, prog *workloads.Program, ex *Extraction) {
+		t.Helper()
+		if ex.Spec == nil {
+			if len(ex.Unanalyzable) == 0 {
+				t.Fatalf("%s: no spec and no unanalyzable sites", prog.Name)
+			}
+			return
+		}
+		rep := VerifyTrace(prog, ex.Spec, len(ex.Unanalyzable) > 0)
+		if !rep.Clean() {
+			t.Errorf("extracted spec disagrees with trace:\n%s", rep)
+		} else {
+			t.Logf("\n%s", rep)
+		}
+	}
+
+	for _, c := range caseStudyCtors {
+		c := c
+		t.Run(c.ctor, func(t *testing.T) {
+			cse, err := p.ExtractCaseStudy(g, c.ctor, c.args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hand := c.hand()
+			verify(t, hand.Original, cse.Original)
+			verify(t, hand.Optimized, cse.Optimized)
+		})
+	}
+
+	byName := map[string]*workloads.Program{}
+	for _, prog := range workloads.RodiniaSuite() {
+		byName[prog.Name] = prog
+	}
+	for _, ctor := range rodiniaCtors {
+		ctor := ctor
+		t.Run(ctor, func(t *testing.T) {
+			ex, err := p.ExtractProgram(g, ctor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog := byName[ex.Kernel]
+			if prog == nil {
+				t.Fatalf("no Rodinia program named %q", ex.Kernel)
+			}
+			verify(t, prog, ex)
+		})
+	}
+}

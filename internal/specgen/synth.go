@@ -1,0 +1,354 @@
+package specgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/staticconf"
+)
+
+// synthRec is one analyzable event lowered to concrete numbers, before
+// window inference.
+type synthRec struct {
+	ip    *vIP
+	block vBlock
+	base  uint64
+	elem  uint64
+	dims  []staticconf.Dim
+	write bool
+}
+
+// synthesize turns the event stream of one runThread execution into a
+// staticconf.Spec plus the list of unanalyzable sites.
+//
+// Per event:
+//   - dims follow the live loop nest outermost-first; the stride of each
+//     dimension is the address expression's coefficient of its induction
+//     variable (zero-stride dims model temporal multiplicity);
+//   - enclosing variables absorbed by a fresh wavefront rebinding are
+//     dropped (their iteration count is already covered by the fresh
+//     rectangular variable);
+//   - trip-1 dims are dropped (they contribute neither refs nor footprint);
+//   - negative strides are reflected (base moved to the minimum address,
+//     stride negated), which is exact per dimension;
+//   - Elem is the innermost non-zero stride when it is ≤ one line, else
+//     the 8-byte default.
+//
+// Window inference then extends each access's reuse window outward while
+// the window footprint (exact distinct-line enumeration) fits a budget of
+// half the cache divided by the number of analyzed accesses in the same
+// innermost loop — the heuristic counterpart of "everything the loop body
+// streams must share the cache".
+func synthesize(kernel string, events []refEvent, arena *vArena, g mem.Geometry) *Extraction {
+	ex := &Extraction{Kernel: kernel, Events: len(events)}
+	for _, b := range arena.blocks {
+		ex.Blocks = append(ex.Blocks, Block{Name: b.name, Start: b.start, Size: b.size})
+	}
+	seenBad := map[string]bool{}
+	var recs []synthRec
+
+	for _, ev := range events {
+		if ev.ip == nil {
+			continue
+		}
+		why := ev.why
+		var rec synthRec
+		if why == "" {
+			r, badWhy := lowerEvent(ev, arena)
+			if badWhy != "" {
+				why = badWhy
+			} else {
+				rec = r
+			}
+		}
+		if why != "" {
+			key := fmt.Sprintf("%s:%d|%s", ev.ip.file, ev.ip.line, why)
+			if !seenBad[key] {
+				seenBad[key] = true
+				ex.Unanalyzable = append(ex.Unanalyzable, Site{
+					IP:    fmt.Sprintf("%s:%d", ev.ip.file, ev.ip.line),
+					Loop:  ev.ip.loop,
+					Write: ev.ip.write,
+					Why:   why,
+				})
+			}
+			continue
+		}
+		ex.AffineEvents++
+		recs = append(recs, rec)
+	}
+	sort.Slice(ex.Unanalyzable, func(i, j int) bool {
+		a, b := ex.Unanalyzable[i], ex.Unanalyzable[j]
+		if a.IP != b.IP {
+			return a.IP < b.IP
+		}
+		return a.Why < b.Why
+	})
+	if len(recs) == 0 {
+		return ex
+	}
+
+	recs = dedupeExact(recs, ex)
+
+	// Window budget: half the cache shared by the analyzable accesses of
+	// the same innermost loop.
+	groupCount := map[string]int{}
+	for _, r := range recs {
+		groupCount[r.ip.loop]++
+	}
+	budget := func(loop string) int64 {
+		n := groupCount[loop]
+		if n < 1 {
+			n = 1
+		}
+		return int64(g.Size()/2) / int64(n)
+	}
+
+	spec := &staticconf.Spec{Kernel: kernel}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].ip.id != recs[j].ip.id {
+			return recs[i].ip.id < recs[j].ip.id
+		}
+		return recs[i].base < recs[j].base
+	})
+	// Streams are chunked against one set span: a precessing stream then
+	// demands at most one line per set, while an aliasing (set-camping)
+	// stream still concentrates its chunk on few sets and is flagged.
+	span := int64(g.Sets * g.LineSize)
+	for _, r := range recs {
+		chunkBudget := budget(r.ip.loop)
+		if span < chunkBudget {
+			chunkBudget = span
+		}
+		dims := chunkStream(r.dims, chunkBudget)
+		spec.Accesses = append(spec.Accesses, staticconf.Access{
+			Array:  r.block.name,
+			Loop:   r.ip.loop,
+			Base:   r.base,
+			Elem:   r.elem,
+			Dims:   dims,
+			Window: inferWindow(dims, budget(r.ip.loop)),
+		})
+	}
+	ex.Spec = spec
+	return ex
+}
+
+// lowerEvent converts one affine event to concrete dims; the returned
+// string is non-empty when the event is unanalyzable after all.
+func lowerEvent(ev refEvent, arena *vArena) (synthRec, string) {
+	live := map[*ivar]bool{}
+	for _, iv := range ev.ivs {
+		live[iv] = true
+	}
+	for _, t := range ev.addr.terms {
+		if !live[t.iv] {
+			// An induction variable escaped its loop (through a loop
+			// exit value that kept a symbolic term). Not affine in the
+			// live nest.
+			return synthRec{}, "address depends on an out-of-scope loop variable"
+		}
+	}
+
+	// A fresh rebinding and its source variables describe the same
+	// iterations twice; keep exactly one side. When the address walks the
+	// fresh variable (non-zero coefficient) the sources' zero-stride dims
+	// are absorbed into it; when the address ignores the fresh variable
+	// the sources keep their multiplicity dims and the fresh dim is
+	// dropped instead.
+	absorbed := map[*ivar]bool{}
+	for _, iv := range ev.ivs {
+		if iv.fresh && ev.addr.coeff(iv) != 0 {
+			for _, src := range iv.sources {
+				absorbed[src] = true
+			}
+		}
+	}
+
+	base := ev.addr.c0
+	var dims []staticconf.Dim
+	for _, iv := range ev.ivs {
+		stride := ev.addr.coeff(iv)
+		if iv.trip <= 1 {
+			continue
+		}
+		if stride == 0 && (absorbed[iv] || (iv.fresh && len(iv.sources) > 0)) {
+			continue
+		}
+		if stride < 0 {
+			// Reflect: walk the dimension from its minimum address.
+			base += stride * int64(iv.trip-1)
+			stride = -stride
+		}
+		dims = append(dims, staticconf.Dim{Stride: stride, Trip: iv.trip})
+	}
+	if base < 0 {
+		return synthRec{}, fmt.Sprintf("negative address %d after reflection", base)
+	}
+	block, ok := arena.find(uint64(base))
+	if !ok {
+		return synthRec{}, fmt.Sprintf("address %#x outside every arena allocation", base)
+	}
+
+	// Element size: the smallest non-zero stride is the distance between
+	// consecutive references of the densest dimension — the access
+	// granularity — whenever it is sub-line; otherwise fall back to 8.
+	elem := uint64(8)
+	minStride := int64(0)
+	for _, d := range dims {
+		if d.Stride != 0 && (minStride == 0 || d.Stride < minStride) {
+			minStride = d.Stride
+		}
+	}
+	if minStride > 0 && minStride <= 64 {
+		elem = uint64(minStride)
+	}
+	return synthRec{
+		ip:    ev.ip,
+		block: block,
+		base:  uint64(base),
+		elem:  elem,
+		dims:  dims,
+		write: ev.write,
+	}, ""
+}
+
+// dedupeExact folds events that are byte-for-byte identical (same site,
+// same base, same dims) into one record, recording the multiplicity as a
+// zero-stride outermost dim.
+func dedupeExact(recs []synthRec, ex *Extraction) []synthRec {
+	key := func(r synthRec) string {
+		return fmt.Sprintf("%d|%d|%v", r.ip.id, r.base, r.dims)
+	}
+	counts := map[string]int{}
+	order := []string{}
+	first := map[string]synthRec{}
+	for _, r := range recs {
+		k := key(r)
+		if counts[k] == 0 {
+			order = append(order, k)
+			first[k] = r
+		}
+		counts[k]++
+	}
+	if len(order) == len(recs) {
+		return recs
+	}
+	out := make([]synthRec, 0, len(order))
+	for _, k := range order {
+		r := first[k]
+		if n := counts[k]; n > 1 {
+			r.dims = append([]staticconf.Dim{{Stride: 0, Trip: n}}, r.dims...)
+			ex.Notes = append(ex.Notes,
+				fmt.Sprintf("site %s:%d emits %d identical reference streams; folded into a multiplicity dim",
+					r.ip.file, r.ip.line, n))
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// chunkStream splits the innermost dim when even a window of that dim
+// alone overflows the budget: a dimension streaming hundreds of lines
+// with no reuse (a copy loop, a column halo walk) would otherwise count
+// its whole walk as concurrently live and drown the per-set demand in
+// uniform streaming pressure. The split is exact — c divides the trip, so
+// {s, T} becomes {s·c, T/c}{s, c}, the same address sequence tiled to the
+// budget — mirroring how hand specs keep one row of a stream in-window.
+func chunkStream(dims []staticconf.Dim, budgetBytes int64) []staticconf.Dim {
+	n := len(dims)
+	if n == 0 {
+		return dims
+	}
+	last := dims[n-1]
+	if last.Stride == 0 || footprintFits([]staticconf.Dim{last}, budgetBytes) {
+		return dims
+	}
+	best := 0
+	for c := 2; c < last.Trip; c++ {
+		if last.Trip%c != 0 {
+			continue
+		}
+		if footprintFits([]staticconf.Dim{{Stride: last.Stride, Trip: c}}, budgetBytes) {
+			best = c
+		} else {
+			break
+		}
+	}
+	if best == 0 {
+		return dims
+	}
+	out := append([]staticconf.Dim{}, dims[:n-1]...)
+	return append(out,
+		staticconf.Dim{Stride: last.Stride * int64(best), Trip: last.Trip / best},
+		staticconf.Dim{Stride: last.Stride, Trip: best})
+}
+
+// inferWindow extends the reuse window outward from the innermost dim
+// while the window's exact distinct-line footprint fits the budget.
+func inferWindow(dims []staticconf.Dim, budgetBytes int64) int {
+	if len(dims) == 0 {
+		return 1
+	}
+	w := 1
+	for cand := 2; cand <= len(dims); cand++ {
+		if footprintFits(dims[len(dims)-cand:], budgetBytes) {
+			w = cand
+		} else {
+			break
+		}
+	}
+	// The innermost dim is always part of the window; w=1 needs no check.
+	return w
+}
+
+// footprintFits enumerates the distinct lines of the dim suffix (skipping
+// zero strides, which add no footprint) and reports whether they fit the
+// byte budget. The enumeration exits early once the budget is exceeded and
+// gives up (reporting "does not fit") past an iteration cap.
+func footprintFits(dims []staticconf.Dim, budgetBytes int64) bool {
+	var walk []staticconf.Dim
+	for _, d := range dims {
+		if d.Stride != 0 && d.Trip > 1 {
+			walk = append(walk, d)
+		}
+	}
+	if len(walk) == 0 {
+		return true
+	}
+	maxLines := budgetBytes / 64
+	if maxLines < 1 {
+		return false
+	}
+	const iterCap = 1 << 20
+	lines := map[int64]struct{}{}
+	idx := make([]int, len(walk))
+	iters := 0
+	for {
+		iters++
+		if iters > iterCap {
+			return false
+		}
+		var addr int64
+		for i, d := range walk {
+			addr += int64(idx[i]) * d.Stride
+		}
+		lines[addr>>6] = struct{}{}
+		if int64(len(lines)) > maxLines {
+			return false
+		}
+		// Odometer increment, innermost last.
+		i := len(walk) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < walk[i].Trip {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return true
+		}
+	}
+}

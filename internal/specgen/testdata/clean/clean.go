@@ -1,0 +1,86 @@
+// Package clean holds conflict-free counterparts of the pathological
+// fixtures: the same walks over padded rows. cmd/conflint must report
+// zero findings here. The lint's tests parse and interpret this package;
+// the go tool never compiles it (testdata is ignored).
+package clean
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/objfile"
+	"repro/internal/trace"
+)
+
+// Program mirrors the workload surface the lint interprets.
+type Program struct {
+	Name      string
+	Binary    *objfile.Binary
+	Arena     *alloc.Arena
+	runThread func(tid, threads int, sink trace.Sink)
+}
+
+// PaddedColumnWalk walks every column of a matrix whose rows are padded
+// by one cache line (4160-byte rows): consecutive rows precess across
+// sets, so the column walk spreads over the whole cache.
+func PaddedColumnWalk() *Program {
+	b := objfile.NewBuilder("paddedcolumnwalk")
+	b.Func("kernel")
+	b.Loop("paddedcolumnwalk.c", 2)
+	b.Loop("paddedcolumnwalk.c", 3)
+	ld := b.Load("paddedcolumnwalk.c", 4)
+	b.EndLoop()
+	b.EndLoop()
+	bin := b.Finish()
+
+	ar := alloc.NewArena()
+	m := alloc.NewMatrix2D(ar, "m", 512, 512, 8, 64)
+	return &Program{
+		Name:   "paddedcolumnwalk",
+		Binary: bin,
+		Arena:  ar,
+		runThread: func(tid, threads int, sink trace.Sink) {
+			if tid != 0 {
+				return
+			}
+			for j := 0; j < 512; j++ {
+				for i := 0; i < 512; i++ {
+					sink.Ref(trace.Ref{IP: ld, Addr: m.At(i, j)})
+				}
+			}
+		},
+	}
+}
+
+// PaddedStreams streams two row-padded matrices in lockstep: row-major
+// order is already conflict-free, and the padded rows keep the walks
+// precessing.
+func PaddedStreams() *Program {
+	b := objfile.NewBuilder("paddedstreams")
+	b.Func("kernel")
+	b.Loop("paddedstreams.c", 2)
+	b.Loop("paddedstreams.c", 3)
+	ldx := b.Load("paddedstreams.c", 4)
+	ldy := b.Load("paddedstreams.c", 4)
+	b.EndLoop()
+	b.EndLoop()
+	bin := b.Finish()
+
+	ar := alloc.NewArena()
+	x := alloc.NewMatrix2D(ar, "x", 512, 512, 8, 64)
+	y := alloc.NewMatrix2D(ar, "y", 512, 512, 8, 64)
+	return &Program{
+		Name:   "paddedstreams",
+		Binary: bin,
+		Arena:  ar,
+		runThread: func(tid, threads int, sink trace.Sink) {
+			if tid != 0 {
+				return
+			}
+			for i := 0; i < 512; i++ {
+				for j := 0; j < 512; j++ {
+					sink.Ref(trace.Ref{IP: ldx, Addr: x.At(i, j)})
+					sink.Ref(trace.Ref{IP: ldy, Addr: y.At(i, j)})
+				}
+			}
+		},
+	}
+}

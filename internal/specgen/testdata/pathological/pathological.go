@@ -1,0 +1,121 @@
+// Package pathological seeds the conflict-prone layouts cmd/conflint must
+// flag: a power-of-two column walk camping on one set, a row size whose
+// gcd with the set span camps on two, and co-aligned arrays marching in
+// lockstep. The lint's tests parse and interpret this package; the go
+// tool never compiles it (testdata is ignored).
+package pathological
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/objfile"
+	"repro/internal/trace"
+)
+
+// Program mirrors the workload surface the lint interprets.
+type Program struct {
+	Name      string
+	Binary    *objfile.Binary
+	Arena     *alloc.Arena
+	runThread func(tid, threads int, sink trace.Sink)
+}
+
+// RepeatedColumn re-walks one column of a power-of-two matrix: rows are
+// 4096 bytes, so every reference of the hot loop lands in a single cache
+// set — the paper's §2 pathology, RCD = 1.
+func RepeatedColumn() *Program {
+	b := objfile.NewBuilder("repeatedcolumn")
+	b.Func("kernel")
+	b.Loop("repeatedcolumn.c", 2)
+	b.Loop("repeatedcolumn.c", 3)
+	ld := b.Load("repeatedcolumn.c", 4)
+	st := b.Store("repeatedcolumn.c", 4)
+	b.EndLoop()
+	b.EndLoop()
+	bin := b.Finish()
+
+	ar := alloc.NewArena()
+	m := alloc.NewMatrix2D(ar, "m", 512, 512, 8, 0)
+	return &Program{
+		Name:   "repeatedcolumn",
+		Binary: bin,
+		Arena:  ar,
+		runThread: func(tid, threads int, sink trace.Sink) {
+			if tid != 0 {
+				return
+			}
+			for t := 0; t < 8; t++ {
+				for i := 0; i < 512; i++ {
+					sink.Ref(trace.Ref{IP: ld, Addr: m.At(i, 0)})
+					sink.Ref(trace.Ref{IP: st, Addr: m.At(i, 0), Write: true})
+				}
+			}
+		},
+	}
+}
+
+// CampingRows walks the columns of a matrix whose 6144-byte rows share a
+// large gcd with the 4096-byte set span: the column walk bounces between
+// two sets only.
+func CampingRows() *Program {
+	b := objfile.NewBuilder("campingrows")
+	b.Func("kernel")
+	b.Loop("campingrows.c", 2)
+	b.Loop("campingrows.c", 3)
+	ld := b.Load("campingrows.c", 4)
+	b.EndLoop()
+	b.EndLoop()
+	bin := b.Finish()
+
+	ar := alloc.NewArena()
+	m := alloc.NewMatrix2D(ar, "m", 256, 768, 8, 0)
+	return &Program{
+		Name:   "campingrows",
+		Binary: bin,
+		Arena:  ar,
+		runThread: func(tid, threads int, sink trace.Sink) {
+			if tid != 0 {
+				return
+			}
+			for j := 0; j < 768; j++ {
+				for i := 0; i < 256; i++ {
+					sink.Ref(trace.Ref{IP: ld, Addr: m.At(i, j)})
+				}
+			}
+		},
+	}
+}
+
+// AliasedStreams streams two matrices row-by-row in lockstep. Both have
+// 4096-byte rows and span-multiple sizes, so the bases share a set and
+// every row boundary stacks the pair's lines on the same sets.
+func AliasedStreams() *Program {
+	b := objfile.NewBuilder("aliasedstreams")
+	b.Func("kernel")
+	b.Loop("aliasedstreams.c", 2)
+	b.Loop("aliasedstreams.c", 3)
+	ldx := b.Load("aliasedstreams.c", 4)
+	ldy := b.Load("aliasedstreams.c", 4)
+	b.EndLoop()
+	b.EndLoop()
+	bin := b.Finish()
+
+	ar := alloc.NewArena()
+	x := alloc.NewMatrix2D(ar, "x", 512, 512, 8, 0)
+	y := alloc.NewMatrix2D(ar, "y", 512, 512, 8, 0)
+	return &Program{
+		Name:   "aliasedstreams",
+		Binary: bin,
+		Arena:  ar,
+		runThread: func(tid, threads int, sink trace.Sink) {
+			if tid != 0 {
+				return
+			}
+			for i := 0; i < 512; i++ {
+				for j := 0; j < 512; j++ {
+					sink.Ref(trace.Ref{IP: ldx, Addr: x.At(i, j)})
+					sink.Ref(trace.Ref{IP: ldy, Addr: y.At(i, j)})
+				}
+			}
+		},
+	}
+}

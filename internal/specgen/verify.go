@@ -1,0 +1,189 @@
+package specgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/staticconf"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Trace-based spec verifier: replay a program's real reference stream and
+// check that a spec (hand-declared or extracted) describes it. Per arena
+// block it compares
+//
+//   - footprint, both directions: the spec's distinct-line set must cover
+//     at least CoverageMin of the lines the trace actually touches, and at
+//     least SpecHitMin of the spec's lines must be touched (no phantom
+//     footprint);
+//   - volume: the spec's reference count must be within a factor of
+//     VolumeRatioMax of the traced count (per-site vs merged accesses and
+//     rectangular hulls make this a loose bound, like the drift lint's).
+//
+// Blocks touched by Approx accesses get volume checks only (a rectangular
+// stand-in for a random window walks different lines than any one run),
+// and the trace-coverage direction is skipped entirely when the spec's
+// kernel had unanalyzable sites (the spec is then knowingly partial).
+
+const (
+	// CoverageMin is the minimum fraction of traced lines the spec must
+	// cover in a block with complete, exact spec accesses.
+	CoverageMin = 0.95
+	// SpecHitMin is the minimum fraction of spec lines the trace must
+	// actually touch. Rectangular hulls of triangular domains still touch
+	// every row and column, so this direction is tight.
+	SpecHitMin = 0.80
+)
+
+// BlockVerdict is the verification result for one arena block.
+type BlockVerdict struct {
+	Array       string
+	OK          bool
+	Why         string
+	TracedLines int
+	SpecLines   int
+	Coverage    float64 // traced lines covered by spec (-1 when skipped)
+	SpecHit     float64 // spec lines touched by trace (-1 when skipped)
+	TracedRefs  int64
+	SpecRefs    int64
+	VolumeRatio float64 // spec refs / traced refs
+}
+
+// VerifyReport is the full trace-verification result for one program.
+type VerifyReport struct {
+	Kernel  string
+	Partial bool // spec had unanalyzable sites; coverage direction skipped
+	Blocks  []BlockVerdict
+}
+
+// Clean reports whether every verified block agreed.
+func (r *VerifyReport) Clean() bool {
+	for _, b := range r.Blocks {
+		if !b.OK {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *VerifyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace verify %s:\n", r.Kernel)
+	for _, v := range r.Blocks {
+		verdict := "ok"
+		if !v.OK {
+			verdict = "MISMATCH: " + v.Why
+		}
+		fmt.Fprintf(&b, "  %-22s %s (refs %d vs spec %d", v.Array, verdict, v.TracedRefs, v.SpecRefs)
+		if v.Coverage >= 0 {
+			fmt.Fprintf(&b, ", coverage %.3f", v.Coverage)
+		}
+		if v.SpecHit >= 0 {
+			fmt.Fprintf(&b, ", spec-hit %.3f", v.SpecHit)
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}
+
+// VerifyTrace replays prog's sequential reference stream and verifies spec
+// against it. partial marks the spec as knowingly incomplete (extracted
+// with unanalyzable sites): the trace-coverage direction is then skipped.
+func VerifyTrace(prog *workloads.Program, spec *staticconf.Spec, partial bool) *VerifyReport {
+	rep := &VerifyReport{Kernel: prog.Name, Partial: partial}
+	if spec == nil {
+		return rep
+	}
+	blocks := prog.Arena.Blocks()
+
+	type tally struct {
+		lines map[int64]struct{}
+		refs  int64
+	}
+	traced := make([]tally, len(blocks))
+	for i := range traced {
+		traced[i].lines = map[int64]struct{}{}
+	}
+	find := func(addr uint64) int {
+		for i, b := range blocks {
+			if b.Contains(addr) {
+				return i
+			}
+		}
+		return -1
+	}
+	prog.Run(trace.SinkFunc(func(r trace.Ref) {
+		if i := find(r.Addr); i >= 0 {
+			traced[i].refs++
+			traced[i].lines[int64(r.Addr)>>6] = struct{}{}
+		}
+	}))
+
+	for i, blk := range blocks {
+		var accs []staticconf.Access
+		approx := false
+		for _, a := range spec.Accesses {
+			if blk.Contains(a.Base) {
+				accs = append(accs, a)
+				approx = approx || a.Approx
+			}
+		}
+		if len(accs) == 0 {
+			// The spec covers dominant references only; untracked setup
+			// or auxiliary traffic is not a spec violation.
+			continue
+		}
+		v := BlockVerdict{
+			Array: blk.Name, Coverage: -1, SpecHit: -1,
+			TracedRefs: traced[i].refs, TracedLines: len(traced[i].lines),
+			SpecRefs: volume(accs),
+		}
+		if v.TracedRefs == 0 {
+			v.Why = "spec describes a block the trace never touches"
+			rep.Blocks = append(rep.Blocks, v)
+			continue
+		}
+		v.VolumeRatio = float64(v.SpecRefs) / float64(v.TracedRefs)
+		if v.VolumeRatio > VolumeRatioMax || v.VolumeRatio < 1/VolumeRatioMax {
+			v.Why = fmt.Sprintf("reference volume ×%.2f off the trace", v.VolumeRatio)
+			rep.Blocks = append(rep.Blocks, v)
+			continue
+		}
+
+		sb := Block{Name: blk.Name, Start: blk.Start, Size: blk.Size}
+		specLines, ok := lineSet(accs, sb)
+		if ok && !approx {
+			v.SpecLines = len(specLines)
+			hit := 0
+			for l := range specLines {
+				if _, t := traced[i].lines[l]; t {
+					hit++
+				}
+			}
+			if len(specLines) > 0 {
+				v.SpecHit = float64(hit) / float64(len(specLines))
+			}
+			covered := 0
+			for l := range traced[i].lines {
+				if _, s := specLines[l]; s {
+					covered++
+				}
+			}
+			v.Coverage = float64(covered) / float64(len(traced[i].lines))
+			if !partial && v.Coverage < CoverageMin {
+				v.Why = fmt.Sprintf("spec covers only %.3f of traced lines", v.Coverage)
+				rep.Blocks = append(rep.Blocks, v)
+				continue
+			}
+			if v.SpecHit >= 0 && v.SpecHit < SpecHitMin {
+				v.Why = fmt.Sprintf("trace touches only %.3f of spec lines (phantom footprint)", v.SpecHit)
+				rep.Blocks = append(rep.Blocks, v)
+				continue
+			}
+		}
+		v.OK = true
+		rep.Blocks = append(rep.Blocks, v)
+	}
+	return rep
+}

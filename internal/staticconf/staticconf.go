@@ -31,6 +31,7 @@
 package staticconf
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -70,6 +71,13 @@ type Access struct {
 	// the iteration span within which a line, once loaded, is expected
 	// to be live again. Zero means 1 (the innermost loop).
 	Window int
+	// Approx marks an access whose dims are a deliberate rectangular
+	// approximation of data-dependent or non-rectangular traffic (random
+	// gathers, pointer chases, triangular nests). The analyzer treats it
+	// like any other access; spec-extraction cross-checks compare such
+	// accesses by volume only, since no affine extractor can reproduce
+	// them from source.
+	Approx bool
 }
 
 // Spec is the full affine access specification of one kernel variant.
@@ -195,12 +203,12 @@ func Analyze(spec *Spec, g mem.Geometry, opts Options) (*Report, error) {
 	// Per-access footprints and reuse windows. Lines are deduplicated
 	// globally by absolute line number so two accesses walking the same
 	// array (a read and a writeback, say) do not double their demand.
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	globalLines := make(map[uint64]struct{})
 	perAccess := make([]windowInfo, len(spec.Accesses))
 	for i, a := range spec.Accesses {
-		if err := validate(a); err != nil {
-			return nil, fmt.Errorf("staticconf: spec %q access %d (%s): %w", spec.Kernel, i, a.Array, err)
-		}
 		hist := touchHist(a, g)
 		ar := AccessReport{Access: a, TotalRefs: totalRefs(a)}
 		for s, c := range hist {
@@ -276,13 +284,63 @@ func Analyze(spec *Spec, g mem.Geometry, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// Validation sentinels, matched with errors.Is through the wrapping
+// *ValidationError.
+var (
+	ErrZeroElem        = errors.New("zero element size")
+	ErrNonPositiveTrip = errors.New("non-positive trip count")
+	ErrWindowTooWide   = errors.New("window wider than the dim list")
+)
+
+// ValidationError pinpoints one structurally invalid field of an access
+// spec: which kernel, which access, which field, and the sentinel cause.
+type ValidationError struct {
+	Kernel string
+	Access int    // index into Spec.Accesses
+	Array  string // Access.Array, for readable messages
+	Field  string // e.g. "Elem", "Dims[2].Trip", "Window"
+	Detail string
+	Err    error // one of the sentinels above
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("staticconf: %s: access %d (%s): %s: %s (%s)",
+		e.Kernel, e.Access, e.Array, e.Field, e.Err, e.Detail)
+}
+
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// Validate checks every access of the spec for structural validity and
+// returns the first violation as a *ValidationError.
+func (s *Spec) Validate() error {
+	for i, a := range s.Accesses {
+		if err := validate(a); err != nil {
+			ve := err.(*ValidationError)
+			ve.Kernel, ve.Access, ve.Array = s.Kernel, i, a.Array
+			return ve
+		}
+	}
+	return nil
+}
+
 func validate(a Access) error {
 	if a.Elem == 0 {
-		return fmt.Errorf("zero element size")
+		return &ValidationError{Field: "Elem", Detail: "Elem is 0", Err: ErrZeroElem}
 	}
 	for d, dim := range a.Dims {
 		if dim.Trip < 1 {
-			return fmt.Errorf("dim %d: trip %d < 1", d, dim.Trip)
+			return &ValidationError{
+				Field:  fmt.Sprintf("Dims[%d].Trip", d),
+				Detail: fmt.Sprintf("trip %d < 1", dim.Trip),
+				Err:    ErrNonPositiveTrip,
+			}
+		}
+	}
+	if a.Window > len(a.Dims) && !(a.Window == 1 && len(a.Dims) == 0) {
+		return &ValidationError{
+			Field:  "Window",
+			Detail: fmt.Sprintf("window %d exceeds %d dims", a.Window, len(a.Dims)),
+			Err:    ErrWindowTooWide,
 		}
 	}
 	return nil

@@ -1,0 +1,116 @@
+package staticconf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func validAccess() Access {
+	return Access{
+		Array: "a", Loop: "k.c:1", Base: 0x100000, Elem: 8,
+		Dims: []Dim{{Stride: 1024, Trip: 16}, {Stride: 8, Trip: 128}}, Window: 1,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	sp := &Spec{Kernel: "k", Accesses: []Access{validAccess()}}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	// Window == len(Dims) is the widest legal window.
+	sp.Accesses[0].Window = 2
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("full-width window rejected: %v", err)
+	}
+	// A dimensionless access (single address) with the default window.
+	sp.Accesses[0].Dims, sp.Accesses[0].Window = nil, 1
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("dimensionless access rejected: %v", err)
+	}
+}
+
+func TestValidateZeroElem(t *testing.T) {
+	a := validAccess()
+	a.Elem = 0
+	sp := &Spec{Kernel: "k", Accesses: []Access{a}}
+	err := sp.Validate()
+	if !errors.Is(err, ErrZeroElem) {
+		t.Fatalf("want ErrZeroElem, got %v", err)
+	}
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want *ValidationError, got %T", err)
+	}
+	if ve.Kernel != "k" || ve.Access != 0 || ve.Array != "a" || ve.Field != "Elem" {
+		t.Fatalf("wrong location: %+v", ve)
+	}
+}
+
+func TestValidateNonPositiveTrip(t *testing.T) {
+	for _, trip := range []int{0, -3} {
+		a := validAccess()
+		a.Dims[1].Trip = trip
+		sp := &Spec{Kernel: "k", Accesses: []Access{validAccess(), a}}
+		err := sp.Validate()
+		if !errors.Is(err, ErrNonPositiveTrip) {
+			t.Fatalf("trip %d: want ErrNonPositiveTrip, got %v", trip, err)
+		}
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Fatalf("want *ValidationError, got %T", err)
+		}
+		if ve.Access != 1 || ve.Field != "Dims[1].Trip" {
+			t.Fatalf("wrong location: %+v", ve)
+		}
+	}
+}
+
+func TestValidateWindowTooWide(t *testing.T) {
+	a := validAccess()
+	a.Window = 3
+	sp := &Spec{Kernel: "k", Accesses: []Access{a}}
+	err := sp.Validate()
+	if !errors.Is(err, ErrWindowTooWide) {
+		t.Fatalf("want ErrWindowTooWide, got %v", err)
+	}
+	var ve *ValidationError
+	if !errors.As(err, &ve) || ve.Field != "Window" {
+		t.Fatalf("want Window field, got %v", err)
+	}
+}
+
+func TestAnalyzeRejectsInvalidSpec(t *testing.T) {
+	a := validAccess()
+	a.Elem = 0
+	sp := &Spec{Kernel: "k", Accesses: []Access{a}}
+	_, err := Analyze(sp, mem.L1Default(), Options{})
+	if !errors.Is(err, ErrZeroElem) {
+		t.Fatalf("Analyze: want ErrZeroElem, got %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "access 0") {
+		t.Fatalf("error should name the access: %v", err)
+	}
+}
+
+// TestAllDeclaredSpecsValidate is covered from the workloads side (every
+// spec-carrying Program validates); here we pin that Approx is pure
+// metadata and does not change the verdict.
+func TestApproxIsMetadataOnly(t *testing.T) {
+	g := mem.L1Default()
+	sp := &Spec{Kernel: "k", Accesses: []Access{validAccess()}}
+	r1, err := Analyze(sp, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Accesses[0].Approx = true
+	r2, err := Analyze(sp, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Conflict != r2.Conflict || r1.PredictedCF != r2.PredictedCF {
+		t.Fatalf("Approx changed the analysis: %+v vs %+v", r1, r2)
+	}
+}

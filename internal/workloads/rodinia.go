@@ -116,8 +116,8 @@ func BFS() *Program {
 		sp := spec("bfs",
 			acc("h_graph_nodes", "bfs.c:1", graph.At(0), 8, 1, dim(8, nodes)),
 			acc("h_graph_edges", "bfs.c:3", edges.At(0), 4, 1, dim(4, nodes*degree)),
-			acc("h_graph_visited", "bfs.c:3", visited.At(0), 1, 1, dim(1, nodes)),
-			acc("h_cost", "bfs.c:3", cost.At(0), 4, 1, dim(4, nodes)),
+			accApprox("h_graph_visited", "bfs.c:3", visited.At(0), 1, 1, dim(1, nodes)),
+			accApprox("h_cost", "bfs.c:3", cost.At(0), 4, 1, dim(4, nodes)),
 		)
 		rng := stats.NewRand(101)
 		return func(sink trace.Sink) {
@@ -157,7 +157,7 @@ func BTree() *Program {
 		const nodeBytes = 16*8 + 17*8 // keys + child pointers
 		tree := alloc.NewVector(ar, "knodes", nodes, nodeBytes)
 		sp := spec("b+tree",
-			acc("knodes", "btree.c:3", tree.At(0), 8, 1,
+			accApprox("knodes", "btree.c:3", tree.At(0), 8, 1,
 				dim(nodeBytes, queries*levels), dim(8, fanout/2)),
 		)
 		rng := stats.NewRand(102)
@@ -200,7 +200,7 @@ func CFD() *Program {
 		rsV := int64(variables.RowStride())
 		sp := spec("cfd",
 			acc("elements_surrounding_elements", "euler3d.cpp:2", neighbors.At(0), 4, 1, dim(4, cells*4)),
-			acc("variables", "euler3d.cpp:4", variables.At(0, 0), 8, 1,
+			accApprox("variables", "euler3d.cpp:4", variables.At(0, 0), 8, 1,
 				dim(rsV, cells), dim(0, 4), dim(8, vars)),
 			acc("fluxes", "euler3d.cpp:1", fluxes.At(0, 0), 8, 1, dim(int64(fluxes.RowStride()), cells)),
 		)
@@ -238,7 +238,7 @@ func Heartwall() *Program {
 		rsI := int64(img.RowStride())
 		rsT := int64(tplM.RowStride())
 		sp := spec("heartwall",
-			acc("frame", "heartwall.c:3", img.At(0, 0), 4, 2,
+			accApprox("frame", "heartwall.c:3", img.At(0, 0), 4, 2,
 				dim(0, steps), dim(rsI, tpl), dim(4, tpl)),
 			acc("template", "heartwall.c:3", tplM.At(0, 0), 4, 3,
 				dim(0, steps), dim(rsT, tpl), dim(4, tpl)),
@@ -411,7 +411,7 @@ func LavaMD() *Program {
 		sp := spec("lavaMD",
 			acc("rv", "lavaMD.c:3", pos.At(0), 16, 1,
 				dim(boxBytes, boxes), dim(0, neighbors), dim(64, perBox/4)),
-			acc("rv", "lavaMD.c:5", pos.At(0), 16, 2,
+			accApprox("rv", "lavaMD.c:5", pos.At(0), 16, 2,
 				dim(boxBytes, boxes), dim(0, neighbors), dim(0, perBox/4), dim(128, perBox/8+1)),
 			acc("fv", "lavaMD.c:3", frc.At(0), 16, 1,
 				dim(boxBytes, boxes), dim(0, neighbors), dim(64, perBox/4)),
@@ -449,7 +449,7 @@ func Leukocyte() *Program {
 		img := alloc.NewMatrix2D(ar, "grad", imgH, imgW, 4, 0)
 		rs := int64(img.RowStride())
 		sp := spec("leukocyte",
-			acc("grad", "find_ellipse.c:3", img.At(0, 0), 4, 3,
+			accApprox("grad", "find_ellipse.c:3", img.At(0, 0), 4, 3,
 				dim(0, cells), dim(0, 10), dim(rs, win), dim(4, win)),
 		)
 		rng := stats.NewRand(106)
@@ -487,11 +487,11 @@ func LUD() *Program {
 		rs := int64(m.RowStride())
 		const kIters, jIters = 50, 83 // k += 5, j += 3 sampling
 		sp := spec("lud",
-			acc("m", "lud.c:2", m.At(1, 0), 4, 1,
+			accApprox("m", "lud.c:2", m.At(1, 0), 4, 1,
 				dim(5*4, kIters), dim(rs, n-1)),
-			acc("m", "lud.c:4", m.At(0, 1), 4, 2,
+			accApprox("m", "lud.c:4", m.At(0, 1), 4, 2,
 				dim(5*rs, kIters), dim(0, n-1), dim(3*4, jIters)),
-			acc("m", "lud.c:4", m.At(1, 1), 4, 1,
+			accApprox("m", "lud.c:4", m.At(1, 1), 4, 1,
 				dim(0, kIters), dim(rs, n-1), dim(3*4, jIters)),
 		)
 		return func(sink trace.Sink) {
@@ -578,7 +578,7 @@ func ParticleFilter() *Program {
 		sp := spec("particlefilter",
 			acc("arrayX", "ex_particle.c:2", xs.At(0), 8, 1, dim(0, frames), dim(8, particles)),
 			acc("weights", "ex_particle.c:2", ws.At(0), 8, 1, dim(0, frames), dim(8, particles)),
-			acc("arrayX", "ex_particle.c:6", xs.At(0), 8, 1, dim(0, frames), dim(8, particles)),
+			accApprox("arrayX", "ex_particle.c:6", xs.At(0), 8, 1, dim(0, frames), dim(8, particles)),
 		)
 		rng := stats.NewRand(107)
 		return func(sink trace.Sink) {

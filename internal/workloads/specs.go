@@ -21,6 +21,15 @@ func acc(array, loop string, base, elem uint64, window int, dims ...staticconf.D
 	}
 }
 
+// accApprox is acc with the Approx marker set: the access is a deliberate
+// rectangular stand-in for data-dependent or non-rectangular traffic, so
+// spec-extraction cross-checks compare it by volume only.
+func accApprox(array, loop string, base, elem uint64, window int, dims ...staticconf.Dim) staticconf.Access {
+	a := acc(array, loop, base, elem, window, dims...)
+	a.Approx = true
+	return a
+}
+
 // spec assembles a kernel spec.
 func spec(kernel string, accesses ...staticconf.Access) *staticconf.Spec {
 	return &staticconf.Spec{Kernel: kernel, Accesses: accesses}
