@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 	"repro/internal/parsim"
 	"repro/internal/pmu"
 	"repro/internal/report"
@@ -261,6 +262,20 @@ func Parallelism() int { return parsim.DefaultWorkers() }
 // keeps parallel sweeps reproducible. Custom sweeps over ccprof APIs
 // should seed their tasks the same way.
 func DeriveSeed(root int64, key string) int64 { return parsim.DeriveSeed(root, key) }
+
+// Metrics returns the process-wide observability registry that the
+// profiler, the simulators, and the sweep executor report into: counters
+// (refs streamed, hits/misses per level, samples raised/dropped), gauges,
+// log2 histograms (per-set miss distributions), and phase timers (profile,
+// analyze, simulate, report). Snapshot it after a run — or serve it live
+// with ServeMetrics — to see where a profiling session spent its work.
+func Metrics() *obs.Registry { return obs.Default }
+
+// ServeMetrics exposes the registry over HTTP on addr: /metrics (snapshot
+// JSON), /debug/vars (expvar), and /debug/pprof. It returns the bound
+// address (useful with ":0") and a shutdown function. cmd/ccprof and
+// cmd/experiments expose it as -metrics-addr.
+func ServeMetrics(addr string) (string, func() error, error) { return obs.Default.Serve(addr) }
 
 // ProfileL2 runs the physically-indexed L2 profiling extension (the
 // paper's footnote-1 future work): L2-miss address sampling, translated

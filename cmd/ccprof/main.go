@@ -34,27 +34,47 @@ import (
 
 func main() {
 	var (
-		list       = flag.Bool("list", false, "list available workloads and exit")
-		period     = flag.Uint64("period", 0, "mean sampling period (0 = the workload's recommended period)")
-		threshold  = flag.Int("threshold", ccprof.RCDThreshold, "short-RCD threshold T")
-		variant    = flag.String("variant", "original", "workload variant: original or optimized")
-		threads    = flag.Int("threads", 1, "threads to profile")
-		seed       = flag.Int64("seed", 1, "sampling RNG seed")
-		profileOut = flag.String("profile-out", "", "also write the raw profile to this file")
-		analyzeIn  = flag.String("analyze", "", "skip profiling; analyze this saved profile file")
-		jsonOut    = flag.Bool("json", false, "emit the analysis as JSON instead of text")
-		compare    = flag.Bool("compare", false, "profile both variants and compare verdicts")
-		static     = flag.Bool("static", false, "also print the static affine conflict analysis (no execution)")
-		l2         = flag.Bool("l2", false, "physically-indexed L2 profiling (the footnote-1 extension)")
-		pagePolicy = flag.String("page-policy", "identity", "L2 mode: identity, sequential, or random frame allocation")
-		advise     = flag.Bool("advise", false, "run the pad advisor sweep for the workload and exit")
-		jobs       = flag.Int("j", 0, "sweep-executor workers for -advise and library sweeps (0 = GOMAXPROCS; results are identical at any value)")
+		list        = flag.Bool("list", false, "list available workloads and exit")
+		period      = flag.Uint64("period", 0, "mean sampling period (0 = the workload's recommended period)")
+		threshold   = flag.Int("threshold", ccprof.RCDThreshold, "short-RCD threshold T")
+		variant     = flag.String("variant", "original", "workload variant: original or optimized")
+		threads     = flag.Int("threads", 1, "threads to profile")
+		seed        = flag.Int64("seed", 1, "sampling RNG seed")
+		profileOut  = flag.String("profile-out", "", "also write the raw profile to this file")
+		analyzeIn   = flag.String("analyze", "", "skip profiling; analyze this saved profile file")
+		jsonOut     = flag.Bool("json", false, "emit the analysis as JSON instead of text")
+		compare     = flag.Bool("compare", false, "profile both variants and compare verdicts")
+		static      = flag.Bool("static", false, "also print the static affine conflict analysis (no execution)")
+		l2          = flag.Bool("l2", false, "physically-indexed L2 profiling (the footnote-1 extension)")
+		pagePolicy  = flag.String("page-policy", "identity", "L2 mode: identity, sequential, or random frame allocation")
+		advise      = flag.Bool("advise", false, "run the pad advisor sweep for the workload and exit")
+		jobs        = flag.Int("j", 0, "sweep-executor workers for -advise and library sweeps (0 = GOMAXPROCS; results are identical at any value)")
+		obsOut      = flag.Bool("obs", false, "print the run's obs snapshot JSON to stderr on exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ccprof [flags] <workload>\nworkloads: %v\nflags:\n", ccprof.WorkloadNames())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		addr, shutdown, err := ccprof.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "ccprof: metrics on http://%s/metrics (pprof on /debug/pprof)\n", addr)
+	}
+	if *obsOut {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "--- obs snapshot ---")
+			if err := ccprof.Metrics().Snapshot().WriteJSON(os.Stderr); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr)
+		}()
+	}
 
 	if *list {
 		for _, n := range ccprof.WorkloadNames() {

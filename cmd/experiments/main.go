@@ -7,6 +7,9 @@
 //	experiments -run fig8       # one experiment
 //	experiments -quick          # shrunken workloads, seconds instead of minutes
 //	experiments -out DIR        # write one artifact file per experiment
+//	                            # (plus one <name>.obs.json snapshot each)
+//	experiments -obs            # print per-experiment obs snapshots to stderr
+//	experiments -metrics-addr :8080   # live /metrics, /debug/vars, /debug/pprof
 package main
 
 import (
@@ -17,19 +20,31 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/parsim"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "run only this experiment (see -list)")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		quick = flag.Bool("quick", false, "use shrunken workloads")
-		out   = flag.String("out", "", "write per-experiment artifact files to this directory")
-		jobs  = flag.Int("j", 0, "sweep-executor workers (0 = GOMAXPROCS; results are identical at any value)")
+		run         = flag.String("run", "", "run only this experiment (see -list)")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		quick       = flag.Bool("quick", false, "use shrunken workloads")
+		out         = flag.String("out", "", "write per-experiment artifact files to this directory")
+		jobs        = flag.Int("j", 0, "sweep-executor workers (0 = GOMAXPROCS; results are identical at any value)")
+		obsOut      = flag.Bool("obs", false, "print each experiment's obs snapshot JSON to stderr")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	)
 	flag.Parse()
 	parsim.SetDefaultWorkers(*jobs)
+
+	if *metricsAddr != "" {
+		addr, shutdown, err := obs.Default.Serve(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "experiments: metrics on http://%s/metrics (pprof on /debug/pprof)\n", addr)
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {
@@ -53,6 +68,9 @@ func main() {
 	}
 
 	for _, name := range names {
+		// Each experiment gets a fresh registry so its obs snapshot
+		// describes that experiment alone, not the whole batch.
+		obs.Default.Reset()
 		var w io.Writer = os.Stdout
 		var f *os.File
 		if *out != "" {
@@ -79,7 +97,37 @@ func main() {
 		} else {
 			fmt.Println()
 		}
+		if *out != "" {
+			if err := writeObsSnapshot(filepath.Join(*out, name+".obs.json")); err != nil {
+				fatal(err)
+			}
+		}
+		if *obsOut {
+			fmt.Fprintf(os.Stderr, "--- obs snapshot: %s ---\n", name)
+			if err := obs.Default.Snapshot().WriteJSON(os.Stderr); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
 	}
+}
+
+// writeObsSnapshot saves the current registry snapshot next to the
+// experiment's artifact file.
+func writeObsSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := io.WriteString(f, "\n"); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -1,0 +1,55 @@
+package cache
+
+import "repro/internal/obs"
+
+// ObserveInto merges this cache's shard-local statistics into reg under
+// the given metric prefix (e.g. "pmu.l1" or "sim.llc"): total hits and
+// misses as counters and the per-set hit/miss distributions as log2
+// histograms (the Figure 3-b view: a conflicted cache shows a few sets
+// with orders of magnitude more misses than the rest).
+//
+// The cache itself never touches the registry on its access path — its
+// counters stay plain uint64 fields — so instrumenting a simulation costs
+// a handful of atomic adds per run, not per reference.
+func (c *Cache) ObserveInto(reg *obs.Registry, prefix string) {
+	reg.Counter(prefix + ".hits").Add(c.Hits)
+	reg.Counter(prefix + ".misses").Add(c.Misses)
+	hm := reg.Histogram(prefix + ".set_misses")
+	hh := reg.Histogram(prefix + ".set_hits")
+	for set := range c.SetMisses {
+		hm.Observe(c.SetMisses[set])
+		hh.Observe(c.SetHits[set])
+	}
+}
+
+// ObserveInto merges the whole hierarchy's statistics into reg under the
+// "sim" prefix: per-level hits/misses summed across private caches, the
+// level-service distribution, and the accumulated cycle cost.
+func (s *System) ObserveInto(reg *obs.Registry) {
+	for _, c := range s.L1 {
+		c.ObserveInto(reg, "sim.l1")
+	}
+	for _, c := range s.L2 {
+		c.ObserveInto(reg, "sim.l2")
+	}
+	s.LLC.ObserveInto(reg, "sim.llc")
+	for level, n := range s.LevelHits {
+		reg.Counter("sim.serviced." + levelKey(level)).Add(n)
+	}
+	reg.Counter("sim.cycles").Add(s.Cycles)
+	reg.Counter("sim.accesses").Add(s.Accesses())
+}
+
+// levelKey returns the lower-case metric key of a service level.
+func levelKey(level int) string {
+	switch level {
+	case LevelL1:
+		return "l1"
+	case LevelL2:
+		return "l2"
+	case LevelLLC:
+		return "llc"
+	default:
+		return "mem"
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/classify"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 	"repro/internal/rcd"
 )
 
@@ -145,6 +146,8 @@ func Analyze(prof *Profile, bin *objfile.Binary, arena *alloc.Arena, opts Analyz
 	if bin == nil {
 		return nil, fmt.Errorf("core: nil binary")
 	}
+	defer obs.Default.StartPhase("analyze")()
+	obs.Default.Counter("analyze.runs").Inc()
 	o := opts.withDefaults()
 
 	graph, err := cfg.Build(bin)

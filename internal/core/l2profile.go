@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/rcd"
 	"repro/internal/vmem"
@@ -87,6 +88,7 @@ func ProfileL2(p *workloads.Program, opts L2ProfileOptions) (*L2Analysis, error)
 			opts.Threshold = rcd.DefaultThreshold
 		}
 	}
+	defer obs.Default.StartPhase("profile.l2")()
 	space := vmem.NewSpace(opts.Policy, nil)
 	s := pmu.NewL2Sampler(pmu.L2Config{
 		L1:     opts.L1,
@@ -96,6 +98,7 @@ func ProfileL2(p *workloads.Program, opts L2ProfileOptions) (*L2Analysis, error)
 		Space:  space,
 	})
 	p.Run(s)
+	s.ObserveInto(obs.Default)
 
 	tr := rcd.New(opts.L2.Sets)
 	an := &L2Analysis{

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/parsim"
 	"repro/internal/pmu"
 	"repro/internal/trace"
@@ -99,6 +100,8 @@ func ProfileProgram(p *workloads.Program, opts ProfileOptions) (*Profile, error)
 		return nil, fmt.Errorf("core: nil program")
 	}
 	o := opts.withDefaults()
+	defer obs.Default.StartPhase("profile")()
+	obs.Default.Counter("profile.runs").Inc()
 	burst := o.Burst
 	if burst < 1 {
 		burst = 1
@@ -141,10 +144,15 @@ func ProfileProgram(p *workloads.Program, opts ProfileOptions) (*Profile, error)
 		}(tid)
 	}
 	wg.Wait()
+	// Merge-on-reassembly: each thread's sampler counted in shard-local
+	// fields; fold the totals into the process registry here, once per
+	// run, in thread order. Sums commute, so the merged counters are
+	// identical at any scheduling.
 	for tid, s := range samplers {
 		prof.Samples[tid] = s.Samples
 		prof.Events += s.Events
 		prof.Refs += s.Refs
+		s.ObserveInto(obs.Default)
 	}
 	if !o.NoTime {
 		prof.ProfiledNs = time.Since(start).Nanoseconds()

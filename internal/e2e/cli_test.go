@@ -1,0 +1,213 @@
+// Package e2e_test builds the real CLI binaries and drives them as a user
+// would: black-box process-level tests asserting exit codes and key output
+// lines for both a clean and a pathological scenario.
+package e2e_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// binDir holds the binaries built once in TestMain.
+var binDir string
+
+// moduleRoot returns the repository root (the directory of go.mod), derived
+// from this source file's location so the tests work from any working
+// directory.
+func moduleRoot() (string, error) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", fmt.Errorf("e2e: cannot locate caller")
+	}
+	root := filepath.Join(filepath.Dir(file), "..", "..")
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		return "", fmt.Errorf("e2e: %s does not look like the module root: %w", root, err)
+	}
+	return filepath.Abs(root)
+}
+
+func TestMain(m *testing.M) {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dir, err := os.MkdirTemp("", "ccprof-e2e-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binDir = dir
+	for _, cmd := range []string{"ccprof", "conflint", "experiments"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(dir, cmd), "./cmd/"+cmd)
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "e2e: go build ./cmd/%s: %v\n%s", cmd, err, out)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes a built binary and returns its combined stdout, stderr, and
+// exit code.
+func run(t *testing.T, bin string, args ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, bin), args...)
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	exit = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", bin, args, err)
+	}
+	return out.String(), errb.String(), exit
+}
+
+func TestCCProfList(t *testing.T) {
+	stdout, stderr, exit := run(t, "ccprof", "-list")
+	if exit != 0 {
+		t.Fatalf("ccprof -list: exit %d, stderr %q", exit, stderr)
+	}
+	for _, w := range []string{"nw", "adi", "himeno"} {
+		if !strings.Contains(stdout, w) {
+			t.Errorf("ccprof -list output is missing workload %q:\n%s", w, stdout)
+		}
+	}
+}
+
+// TestCCProfPathological profiles the NW original build, the paper's
+// flagship conflict case: the report must flag conflict misses.
+func TestCCProfPathological(t *testing.T) {
+	stdout, stderr, exit := run(t, "ccprof", "nw")
+	if exit != 0 {
+		t.Fatalf("ccprof nw: exit %d, stderr %q", exit, stderr)
+	}
+	for _, w := range []string{"profiled nw", "CCProf report for nw", "CONFLICT MISSES DETECTED"} {
+		if !strings.Contains(stdout, w) {
+			t.Errorf("ccprof nw output is missing %q:\n%s", w, stdout)
+		}
+	}
+}
+
+// TestCCProfClean profiles the optimized (padded) NW build: same kernel,
+// conflicts gone, clean verdict.
+func TestCCProfClean(t *testing.T) {
+	stdout, stderr, exit := run(t, "ccprof", "-variant", "optimized", "nw")
+	if exit != 0 {
+		t.Fatalf("ccprof -variant optimized nw: exit %d, stderr %q", exit, stderr)
+	}
+	if !strings.Contains(stdout, "no significant conflict misses") {
+		t.Errorf("optimized NW should be clean:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "CONFLICT MISSES DETECTED") {
+		t.Errorf("optimized NW reported conflicts:\n%s", stdout)
+	}
+}
+
+func TestCCProfUnknownWorkload(t *testing.T) {
+	_, stderr, exit := run(t, "ccprof", "no-such-workload")
+	if exit != 1 {
+		t.Fatalf("ccprof no-such-workload: exit %d, want 1 (stderr %q)", exit, stderr)
+	}
+	if !strings.Contains(stderr, "no-such-workload") {
+		t.Errorf("stderr does not name the unknown workload: %q", stderr)
+	}
+}
+
+func TestCCProfUsage(t *testing.T) {
+	_, stderr, exit := run(t, "ccprof")
+	if exit != 2 {
+		t.Fatalf("ccprof (no args): exit %d, want 2", exit)
+	}
+	if !strings.Contains(stderr, "usage: ccprof") {
+		t.Errorf("stderr is not the usage message: %q", stderr)
+	}
+}
+
+// TestCCProfObsSnapshot checks the observability flag end to end: -obs
+// must dump a snapshot whose counters cover the PMU and the report phase.
+func TestCCProfObsSnapshot(t *testing.T) {
+	stdout, stderr, exit := run(t, "ccprof", "-obs", "nw")
+	if exit != 0 {
+		t.Fatalf("ccprof -obs nw: exit %d, stderr %q", exit, stderr)
+	}
+	if !strings.Contains(stdout, "CCProf report for nw") {
+		t.Errorf("-obs must not change the report:\n%s", stdout)
+	}
+	for _, w := range []string{"--- obs snapshot ---", `"pmu.refs"`, `"trace.refs_streamed"`, `"phases"`, `"profile"`} {
+		if !strings.Contains(stderr, w) {
+			t.Errorf("obs snapshot is missing %q:\n%s", w, stderr)
+		}
+	}
+}
+
+func TestConflintPathological(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "specgen", "testdata", "pathological")
+	stdout, stderr, exit := run(t, "conflint", "-fail", dir)
+	if exit != 1 {
+		t.Fatalf("conflint -fail on pathological fixture: exit %d, want 1 (stderr %q)", exit, stderr)
+	}
+	if !strings.Contains(stdout, "kernels linted") || strings.Contains(stdout, " 0 findings") {
+		t.Errorf("pathological fixture should produce findings:\n%s", stdout)
+	}
+}
+
+func TestConflintClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "specgen", "testdata", "clean")
+	stdout, stderr, exit := run(t, "conflint", "-fail", dir)
+	if exit != 0 {
+		t.Fatalf("conflint -fail on clean fixture: exit %d, want 0 (stderr %q, stdout %q)", exit, stderr, stdout)
+	}
+	if !strings.Contains(stdout, "0 findings") {
+		t.Errorf("clean fixture should report 0 findings:\n%s", stdout)
+	}
+}
+
+// TestExperimentsObsArtifacts runs one quick experiment with -out and
+// checks that the obs snapshot lands next to the report artifact.
+func TestExperimentsObsArtifacts(t *testing.T) {
+	out := t.TempDir()
+	stdout, stderr, exit := run(t, "experiments", "-quick", "-run", "fig9", "-out", out)
+	if exit != 0 {
+		t.Fatalf("experiments -quick -run fig9: exit %d, stderr %q", exit, stderr)
+	}
+	if !strings.Contains(stdout, "running fig9") {
+		t.Errorf("unexpected stdout:\n%s", stdout)
+	}
+	report, err := os.ReadFile(filepath.Join(out, "fig9.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report) == 0 {
+		t.Error("fig9.txt is empty")
+	}
+	snap, err := os.ReadFile(filepath.Join(out, "fig9.obs.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{`"counters"`, `"pmu.refs"`, `"phases"`} {
+		if !strings.Contains(string(snap), w) {
+			t.Errorf("fig9.obs.json is missing %s:\n%s", w, snap)
+		}
+	}
+}

@@ -4,14 +4,35 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Runner executes one named experiment, rendering to w.
 type Runner func(w io.Writer, scale Scale) error
 
+// instrumented wraps a runner with a span on the process registry, so a
+// run's snapshot attributes wall time per experiment. The rendered output
+// is untouched — timings never reach the report stream.
+func instrumented(name string, fn Runner) Runner {
+	return func(w io.Writer, s Scale) error {
+		defer obs.Default.StartPhase("experiment/" + name)()
+		return fn(w, s)
+	}
+}
+
 // Registry maps experiment names (as used by `cmd/experiments -run`) to
 // runners covering every table and figure of the paper plus the ablations.
+// Every runner is instrumented with an "experiment/<name>" phase span.
 func Registry() map[string]Runner {
+	reg := registry()
+	for name, fn := range reg {
+		reg[name] = instrumented(name, fn)
+	}
+	return reg
+}
+
+func registry() map[string]Runner {
 	return map[string]Runner{
 		"fig2":       func(w io.Writer, s Scale) error { _, err := Fig2(w, s); return err },
 		"fig7":       func(w io.Writer, s Scale) error { _, err := Fig7(w, s); return err },

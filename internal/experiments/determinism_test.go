@@ -3,8 +3,10 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/parsim"
 )
 
@@ -34,22 +36,35 @@ func render(t *testing.T, fn func(w *bytes.Buffer) (any, error)) []byte {
 	return append(buf.Bytes(), raw...)
 }
 
+// sweepCases lists the experiments routed through the sweep executor,
+// whose full observable output (text + structured rows) must be worker
+// count independent. table2 and specgen carry wall-clock measurements
+// in-process, but those fields are excluded from serialization (json:"-"),
+// so their rendered output is as deterministic as the rest.
+func sweepCases() []struct {
+	name string
+	fn   func(w *bytes.Buffer) (any, error)
+} {
+	return []struct {
+		name string
+		fn   func(w *bytes.Buffer) (any, error)
+	}{
+		{"fig7", func(w *bytes.Buffer) (any, error) { return Fig7(w, Quick) }},
+		{"fig9", func(w *bytes.Buffer) (any, error) { return Fig9(w, Quick) }},
+		{"table2", func(w *bytes.Buffer) (any, error) { return Table2(w, Quick) }},
+		{"table3", func(w *bytes.Buffer) (any, error) { return Table3(w, Quick) }},
+		{"staticconf", func(w *bytes.Buffer) (any, error) { return StaticConf(w, Quick) }},
+		{"specgen", func(w *bytes.Buffer) (any, error) { return Specgen(w, Quick) }},
+	}
+}
+
 // TestExperimentsSerialParallelIdentical is the engine-level determinism
 // regression: every experiment routed through the sweep executor must
 // produce byte-identical reports at -j 1 and -j 8. A failure here means a
 // task picked up shared state (an RNG, a map, an accumulator) whose value
 // depends on scheduling.
 func TestExperimentsSerialParallelIdentical(t *testing.T) {
-	cases := []struct {
-		name string
-		fn   func(w *bytes.Buffer) (any, error)
-	}{
-		{"fig7", func(w *bytes.Buffer) (any, error) { return Fig7(w, Quick) }},
-		{"fig9", func(w *bytes.Buffer) (any, error) { return Fig9(w, Quick) }},
-		{"table3", func(w *bytes.Buffer) (any, error) { return Table3(w, Quick) }},
-		{"staticconf", func(w *bytes.Buffer) (any, error) { return StaticConf(w, Quick) }},
-	}
-	for _, tc := range cases {
+	for _, tc := range sweepCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			var serial, parallel []byte
 			atWorkers(1, func() { serial = render(t, tc.fn) })
@@ -57,6 +72,83 @@ func TestExperimentsSerialParallelIdentical(t *testing.T) {
 			if !bytes.Equal(serial, parallel) {
 				t.Errorf("%s output differs between -j1 and -j8 (%d vs %d bytes)",
 					tc.name, len(serial), len(parallel))
+			}
+		})
+	}
+}
+
+// TestExperimentsRunTwiceIdentical is the wall-clock/iteration-order audit
+// in executable form: every registered experiment, run twice in the same
+// process at Quick scale, must render byte-identical text. A failure means
+// a timing, an RNG shared across runs, or a map iteration order leaked
+// into the report (the ProfiledNs class of bug).
+func TestExperimentsRunTwiceIdentical(t *testing.T) {
+	reg := Registry()
+	names := Names()
+	if raceEnabled {
+		// Full matrix under -race would take minutes for no extra signal
+		// (value determinism is scheduler-independent); keep one profiler
+		// sweep, one simulation sweep, one static path, and the L2
+		// extension as representatives.
+		names = []string{"fig9", "table2", "staticconf", "l2ext"}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			runOnce := func() []byte {
+				var buf bytes.Buffer
+				if err := reg[name](&buf, Quick); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			first, second := runOnce(), runOnce()
+			if !bytes.Equal(first, second) {
+				t.Errorf("%s output differs between two identical runs (%d vs %d bytes)",
+					name, len(first), len(second))
+			}
+		})
+	}
+}
+
+// deterministicObs runs fn against a freshly reset process registry and
+// returns the JSON of the worker-count-independent slice of its snapshot:
+// counters and histograms (gauges legitimately record configuration such
+// as the worker count itself, and phases are wall-clock).
+func deterministicObs(t *testing.T, fn func()) []byte {
+	t.Helper()
+	obs.Default.Reset()
+	fn()
+	s := obs.Default.Snapshot().Deterministic()
+	s.Gauges = nil
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestObsCountersSerialParallelIdentical extends the determinism guarantee
+// to the observability layer itself: the merged counters and histograms of
+// a run — refs streamed, hits/misses per set, samples, tasks — must be
+// byte-identical at -j1 and -j8. This is what licenses shard-local
+// counting with merge-on-reassembly.
+func TestObsCountersSerialParallelIdentical(t *testing.T) {
+	reg := Registry()
+	for _, name := range []string{"fig9", "staticconf"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func() {
+				if err := reg[name](io.Discard, Quick); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var serial, parallel []byte
+			atWorkers(1, func() { serial = deterministicObs(t, run) })
+			atWorkers(8, func() { parallel = deterministicObs(t, run) })
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("%s obs counters differ between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+					name, serial, parallel)
 			}
 		})
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -80,8 +81,11 @@ func analyzed(p *workloads.Program, period uint64, seed int64) (*core.Profile, *
 func runOn(p *workloads.Program, sink trace.Sink) { p.Run(sink) }
 
 // simulateThreaded replays a program on a machine's full hierarchy with the
-// given thread count, interleaving per-thread streams chunk-wise.
+// given thread count, interleaving per-thread streams chunk-wise. The
+// populated system's statistics merge into the process registry before it
+// is returned.
 func simulateThreaded(p *workloads.Program, m mem.Machine, threads int) *cache.System {
+	defer obs.Default.StartPhase("simulate")()
 	if threads < 1 {
 		threads = 1
 	}
@@ -95,8 +99,8 @@ func simulateThreaded(p *workloads.Program, m mem.Machine, threads int) *cache.S
 	}
 	const chunk = 64
 	pos := make([]int, threads)
-	for {
-		progressed := false
+	for progressed := true; progressed; {
+		progressed = false
 		for t := 0; t < threads; t++ {
 			s := rec.Streams[t]
 			end := pos[t] + chunk
@@ -108,10 +112,9 @@ func simulateThreaded(p *workloads.Program, m mem.Machine, threads int) *cache.S
 				progressed = true
 			}
 		}
-		if !progressed {
-			return sys
-		}
 	}
+	sys.ObserveInto(obs.Default)
+	return sys
 }
 
 func fprintf(w io.Writer, format string, args ...any) {

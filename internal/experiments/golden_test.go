@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of diffing against them:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// goldenNames lists the experiments pinned by golden files. These are the
+// deterministic core of the suite — every byte of their Quick-scale output
+// is a function of the simulated work alone, so any diff is a behavior
+// change that must be either fixed or consciously re-goldened with -update.
+var goldenNames = []string{
+	"fig7", "fig9", "table2", "table3", "staticconf", "specgen",
+}
+
+// TestGolden diffs each experiment's rendered Quick-scale report
+// byte-for-byte against its checked-in golden file. The runners come from
+// the same registry the CLI uses, so the goldens pin exactly what
+// `experiments -quick -run <name>` prints.
+func TestGolden(t *testing.T) {
+	reg := Registry()
+	for _, name := range goldenNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			fn, ok := reg[name]
+			if !ok {
+				t.Fatalf("experiment %q is not registered", name)
+			}
+			var buf bytes.Buffer
+			if err := fn(&buf, Quick); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", name+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/experiments -run TestGolden -update` to create it)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output diverged from %s (got %d bytes, want %d).\nIf the change is intentional, re-golden with -update.\n--- got ---\n%s\n--- want ---\n%s",
+					name, path, buf.Len(), len(want), clip(buf.String()), clip(string(want)))
+			}
+		})
+	}
+}
+
+// clip bounds a report for the failure message.
+func clip(s string) string {
+	const max = 4096
+	if len(s) > max {
+		return s[:max] + "\n... [truncated]"
+	}
+	return s
+}

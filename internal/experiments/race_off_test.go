@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. Heavy
+// value-determinism sweeps trim to representative subsets under -race,
+// where each simulation run costs ~15x: the detector finds data races, not
+// value divergence, and the concurrency-sensitive determinism tests
+// (serial vs parallel) still run in full.
+const raceEnabled = false

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/parsim"
 	"repro/internal/rcd"
 	"repro/internal/report"
@@ -131,7 +132,9 @@ func StaticConf(w io.Writer, scale Scale) (*StaticConfResult, error) {
 		}
 
 		sink := &classifySink{g: g, cl: cache.NewClassifier(g), tr: rcd.New(g.Sets)}
+		done := obs.Default.StartPhase("classify")
 		v.prog.Run(sink)
+		done()
 		ratio := sink.cl.ConflictRatio()
 		exactCF := sink.tr.ContributionFactor(rcd.DefaultThreshold)
 

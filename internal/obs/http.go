@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// String implements expvar.Var: the registry renders as its snapshot JSON,
+// so a published registry appears as one structured variable in
+// /debug/vars.
+func (r *Registry) String() string {
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Publish registers the registry with the process-wide expvar table under
+// the given name. Publishing twice (even under different names) is a no-op
+// after the first call, since expvar panics on duplicate names and a
+// registry needs at most one identity there.
+func (r *Registry) Publish(name string) {
+	if r.published.CompareAndSwap(false, true) {
+		expvar.Publish(name, r)
+	}
+}
+
+// Handler returns the observability mux:
+//
+//	/metrics          registry snapshot as indented JSON
+//	/debug/vars       the expvar table (expvar-compatible consumers)
+//	/debug/pprof/...  the standard pprof profiles
+//
+// pprof handlers are mounted on this mux explicitly rather than relying on
+// the net/http/pprof side effect on http.DefaultServeMux, so importing obs
+// never mutates global HTTP state.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve publishes the registry (under "ccprof") and serves Handler on addr
+// in a background goroutine. It returns the bound address (useful with
+// ":0") and a shutdown function. The CLIs wire this to -metrics-addr.
+func (r *Registry) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	r.Publish("ccprof")
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

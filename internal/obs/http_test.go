@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetrics(t *testing.T) {
+	r := New()
+	r.Counter("sim.accesses").Add(123)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["sim.accesses"] != 123 {
+		t.Fatalf("snapshot over HTTP = %+v", s)
+	}
+}
+
+func TestHandlerDebugEndpoints(t *testing.T) {
+	r := New()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, body %q", path, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestExpvarString(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(5)
+	var s Snapshot
+	if err := json.Unmarshal([]byte(r.String()), &s); err != nil {
+		t.Fatalf("String() is not snapshot JSON: %v", err)
+	}
+	if s.Counters["c"] != 5 {
+		t.Fatalf("String() snapshot = %+v", s)
+	}
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	r := New()
+	// expvar panics on duplicate names; Publish must swallow repeats, even
+	// under a different name. Unique names per test run keep the global
+	// expvar table conflict-free across test re-runs in one process.
+	name := fmt.Sprintf("obs_test_%p", r)
+	r.Publish(name)
+	r.Publish(name)
+	r.Publish(name + "_other")
+}
+
+func TestServe(t *testing.T) {
+	r := New()
+	r.Counter("up").Inc()
+	addr, shutdown, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	if !strings.Contains(addr, ":") {
+		t.Fatalf("Serve returned addr %q", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "\"up\": 1") {
+		t.Fatalf("GET /metrics: status %d, body %s", resp.StatusCode, body)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

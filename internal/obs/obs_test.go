@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+	if got := c.String(); got != "42" {
+		t.Fatalf("String = %q, want \"42\"", got)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("Counter(name) is not get-or-create: second lookup returned a new counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("w")
+	g.Set(8)
+	g.Add(-3)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("Load = %d, want 5", got)
+	}
+	if got := g.String(); got != "5" {
+		t.Fatalf("String = %q, want \"5\"", got)
+	}
+	if r.Gauge("w") != g {
+		t.Fatal("Gauge(name) is not get-or-create")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := new(Histogram)
+	// Bucket 0 holds the value 0; bucket k holds [2^(k-1), 2^k - 1].
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", h.Count())
+	}
+	want := uint64(0 + 1 + 2 + 3 + 4 + 7 + 8 + 1<<40)
+	if h.Sum() != want {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), want)
+	}
+	s := h.snapshot()
+	if s.Mean != float64(want)/8 {
+		t.Fatalf("Mean = %v, want %v", s.Mean, float64(want)/8)
+	}
+	// Expected populated buckets: {0}, {1}, {2,3}, {4..7}, {8}, {2^40}.
+	type bk struct{ lo, hi, n uint64 }
+	wantBuckets := []bk{
+		{0, 0, 1},
+		{1, 1, 1},
+		{2, 3, 2},
+		{4, 7, 2},
+		{8, 15, 1},
+		{1 << 40, 1<<41 - 1, 1},
+	}
+	if len(s.Buckets) != len(wantBuckets) {
+		t.Fatalf("got %d buckets %+v, want %d", len(s.Buckets), s.Buckets, len(wantBuckets))
+	}
+	for i, w := range wantBuckets {
+		g := s.Buckets[i]
+		if g.Lo != w.lo || g.Hi != w.hi || g.Count != w.n {
+			t.Errorf("bucket %d = %+v, want {Lo:%d Hi:%d Count:%d}", i, g, w.lo, w.hi, w.n)
+		}
+	}
+}
+
+func TestPhases(t *testing.T) {
+	r := New()
+	done := r.StartPhase("work")
+	done()
+	r.ObservePhase("work", 3*time.Millisecond)
+	p := r.phase("work")
+	if p.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", p.Count())
+	}
+	if p.Total() < 3*time.Millisecond {
+		t.Fatalf("Total = %v, want >= 3ms", p.Total())
+	}
+	s := r.Snapshot()
+	ps, ok := s.Phases["work"]
+	if !ok {
+		t.Fatal("snapshot is missing the work phase")
+	}
+	if ps.Count != 2 || ps.TotalNs < int64(3*time.Millisecond) || ps.MeanNs <= 0 {
+		t.Fatalf("phase snapshot = %+v", ps)
+	}
+}
+
+func TestSnapshotDeterministicStripsPhases(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(2)
+	r.Histogram("h").Observe(5)
+	r.ObservePhase("p", time.Second)
+
+	s := r.Snapshot()
+	if len(s.Phases) != 1 {
+		t.Fatalf("Snapshot dropped phases: %+v", s)
+	}
+	d := s.Deterministic()
+	if d.Phases != nil {
+		t.Fatalf("Deterministic kept phases: %+v", d.Phases)
+	}
+	if d.Counters["c"] != 7 || d.Gauges["g"] != 2 || d.Histograms["h"].Count != 1 {
+		t.Fatalf("Deterministic lost data: %+v", d)
+	}
+	// The original must be unchanged (Deterministic returns a copy).
+	if len(s.Phases) != 1 {
+		t.Fatal("Deterministic mutated its receiver")
+	}
+}
+
+// TestSnapshotJSONStable checks the serialization contract the golden and
+// determinism tests lean on: equal registry states render byte-identically
+// regardless of metric creation order (encoding/json sorts map keys).
+func TestSnapshotJSONStable(t *testing.T) {
+	a, b := New(), New()
+	a.Counter("alpha").Add(1)
+	a.Counter("beta").Add(2)
+	a.Histogram("h").Observe(9)
+	// Same state, created in the opposite order.
+	b.Histogram("h").Observe(9)
+	b.Counter("beta").Add(2)
+	b.Counter("alpha").Add(1)
+
+	var ba, bb bytes.Buffer
+	if err := a.Snapshot().WriteJSON(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", ba.String(), bb.String())
+	}
+	if !strings.Contains(ba.String(), "\"alpha\": 1") {
+		t.Fatalf("unexpected JSON shape:\n%s", ba.String())
+	}
+	var round Snapshot
+	if err := json.Unmarshal(ba.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if round.Counters["beta"] != 2 {
+		t.Fatalf("round-trip lost counters: %+v", round)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(1)
+	r.ObservePhase("p", time.Millisecond)
+	r.Reset()
+	s := r.Snapshot()
+	if s.Counters != nil || s.Gauges != nil || s.Histograms != nil || s.Phases != nil {
+		t.Fatalf("Reset left state behind: %+v", s)
+	}
+	// Instruments resolved before Reset keep working but feed the old
+	// generation; new lookups get fresh metrics.
+	if r.Counter("c").Load() != 0 {
+		t.Fatal("post-Reset counter not fresh")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("h").Observe(uint64(j))
+				r.Gauge("g").Set(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Snapshot is the structured end-of-run report of a Registry: every
+// counter, gauge and histogram (deterministic — functions of the simulated
+// work alone) plus the phase timings (wall-clock). encoding/json sorts map
+// keys, so two snapshots with equal values serialize byte-identically.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Phases holds wall-clock span timings. They vary run to run and
+	// worker count to worker count; Deterministic strips them.
+	Phases map[string]PhaseSnapshot `json:"phases,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := &Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Load()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Load()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	if len(r.phases) > 0 {
+		s.Phases = make(map[string]PhaseSnapshot, len(r.phases))
+		for name, p := range r.phases {
+			ps := PhaseSnapshot{Count: p.Count(), TotalNs: int64(p.Total())}
+			if ps.Count > 0 {
+				ps.MeanNs = float64(ps.TotalNs) / float64(ps.Count)
+			}
+			s.Phases[name] = ps
+		}
+	}
+	return s
+}
+
+// Deterministic returns a copy of the snapshot without wall-clock content
+// (phase timings). What remains is byte-identical run to run for a
+// deterministic pipeline; counters and histograms are additionally
+// identical at any -j worker count (gauges may legitimately record
+// configuration, such as the worker count itself), which the determinism
+// tests assert at -j 1 vs -j 8.
+func (s *Snapshot) Deterministic() *Snapshot {
+	d := *s
+	d.Phases = nil
+	return &d
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase accumulates span-style timings for one named pipeline phase
+// (extract, simulate, classify, report, ...). Concurrent spans from
+// parallel tasks fold into the same totals with atomic adds.
+type Phase struct {
+	count atomic.Uint64
+	ns    atomic.Int64
+}
+
+// observe folds one finished span into the phase.
+func (p *Phase) observe(d time.Duration) {
+	p.count.Add(1)
+	p.ns.Add(int64(d))
+}
+
+// Count returns the number of spans recorded.
+func (p *Phase) Count() uint64 { return p.count.Load() }
+
+// Total returns the accumulated duration across spans.
+func (p *Phase) Total() time.Duration { return time.Duration(p.ns.Load()) }
+
+// phase returns the named phase, creating it on first use.
+func (r *Registry) phase(name string) *Phase {
+	r.mu.RLock()
+	p := r.phases[name]
+	r.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p = r.phases[name]; p == nil {
+		p = new(Phase)
+		r.phases[name] = p
+	}
+	return p
+}
+
+// StartPhase opens a span on the named phase and returns the function that
+// closes it:
+//
+//	defer reg.StartPhase("profile")()
+//
+// Phase timings are wall-clock and therefore non-deterministic; they are
+// reported only in the timing section of a Snapshot, never in experiment
+// output (see Snapshot.Deterministic).
+func (r *Registry) StartPhase(name string) func() {
+	p := r.phase(name)
+	start := time.Now()
+	return func() { p.observe(time.Since(start)) }
+}
+
+// ObservePhase folds an externally measured duration into the named phase,
+// for callers that already hold a timing (e.g. the specgen experiment's
+// extraction timer).
+func (r *Registry) ObservePhase(name string, d time.Duration) {
+	r.phase(name).observe(d)
+}
+
+// PhaseSnapshot is the serializable state of a Phase.
+type PhaseSnapshot struct {
+	Count   uint64  `json:"count"`
+	TotalNs int64   `json:"total_ns"`
+	MeanNs  float64 `json:"mean_ns"`
+}

@@ -22,6 +22,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // defaultWorkers is the pool size used when Options.Workers is 0.
@@ -88,16 +91,29 @@ func Run[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
 		workers = n
 	}
 
+	// Sweep-level observability: deterministic run/task counters plus the
+	// worker-count gauge (configuration), and wall-clock spans for the
+	// sweep and each worker's busy time ("parsim.worker_busy" count vs
+	// "parsim.run" total is the pool utilization). Spans live only in the
+	// timing section of snapshots, never in experiment output.
+	reg := obs.Default
+	reg.Counter("parsim.runs").Inc()
+	reg.Counter("parsim.tasks").Add(uint64(n))
+	reg.Gauge("parsim.workers").Set(int64(workers))
+	defer reg.StartPhase("parsim.run")()
+
 	results := make([]T, n)
 	errs := make([]error, n)
 
 	if workers == 1 {
 		// Serial fallback: same semantics, no goroutines. This is the
 		// path -j 1 and GOMAXPROCS=1 CI exercise against the pool.
+		done := reg.StartPhase("parsim.worker_busy")
 		for i := 0; i < n; i++ {
 			results[i], errs[i] = fn(i)
 		}
-		return results, firstError(errs)
+		done()
+		return results, countErrors(reg, errs)
 	}
 
 	var next atomic.Int64
@@ -106,9 +122,11 @@ func Run[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			start := time.Now()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					reg.ObservePhase("parsim.worker_busy", time.Since(start))
 					return
 				}
 				results[i], errs[i] = fn(i)
@@ -116,7 +134,22 @@ func Run[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
-	return results, firstError(errs)
+	return results, countErrors(reg, errs)
+}
+
+// countErrors tallies failed tasks into reg and returns a TaskError for
+// the lowest failing index, or nil.
+func countErrors(reg *obs.Registry, errs []error) error {
+	failed := uint64(0)
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed > 0 {
+		reg.Counter("parsim.task_errors").Add(failed)
+	}
+	return firstError(errs)
 }
 
 // firstError returns a TaskError for the lowest failing index, or nil.

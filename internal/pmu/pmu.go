@@ -115,6 +115,14 @@ type Config struct {
 	// Burst consecutive miss events instead of one, so within-burst
 	// sample distances are exact miss distances. 0 or 1 disables bursts.
 	Burst int
+
+	// MaxSamples bounds the sample buffer, modelling a finite PEBS
+	// buffer: samples raised after the buffer is full are counted in
+	// Dropped instead of delivered. 0 means unbounded. The bound applies
+	// only to buffered collection (Handler == nil); an online Handler
+	// consumes every sample. Dropping is a function of the deterministic
+	// event stream alone, so it does not perturb reproducibility.
+	MaxSamples int
 }
 
 // Sampler consumes a reference stream and produces address samples of
@@ -131,6 +139,10 @@ type Sampler struct {
 	Events uint64
 	// Refs counts every reference observed.
 	Refs uint64
+	// Dropped counts samples raised but discarded because the buffer was
+	// full (see Config.MaxSamples). Always 0 when the buffer is unbounded
+	// or a Handler is installed.
+	Dropped uint64
 	// Samples is the collected sample buffer.
 	Samples []Sample
 
@@ -209,13 +221,18 @@ func (s *Sampler) Grow(n int) {
 }
 
 func (s *Sampler) deliver(r trace.Ref) {
-	s.count++
 	sm := Sample{IP: r.IP, Addr: r.Addr}
 	if s.Handler != nil {
+		s.count++
 		s.Handler(sm)
-	} else {
-		s.Samples = append(s.Samples, sm)
+		return
 	}
+	if s.cfg.MaxSamples > 0 && len(s.Samples) >= s.cfg.MaxSamples {
+		s.Dropped++
+		return
+	}
+	s.count++
+	s.Samples = append(s.Samples, sm)
 }
 
 // SampleCount returns the number of samples taken so far, whether buffered

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Table accumulates rows and renders them with aligned columns.
@@ -36,8 +38,10 @@ func (t *Table) Row(cells ...any) {
 	t.rows = append(t.rows, row)
 }
 
-// Write renders the table.
+// Write renders the table. Rendering time accrues to the "report" phase of
+// the process observability registry.
 func (t *Table) Write(w io.Writer) error {
+	defer obs.Default.StartPhase("report")()
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
 		widths[i] = len(h)

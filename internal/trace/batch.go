@@ -43,7 +43,16 @@ func Emit(sink Sink, refs []Ref) {
 type Batcher struct {
 	next  Sink
 	batch BatchSink // non-nil when next consumes batches natively
-	buf   []Ref
+
+	// Shard-local stream statistics: references delivered and batches
+	// flushed downstream. Plain fields, counted on the producer's own
+	// goroutine, merged into an obs.Registry once per run via ObserveInto
+	// (Program.RunThread does) — the delivery path itself never touches
+	// shared state.
+	refs    uint64
+	flushes uint64
+
+	buf []Ref
 }
 
 // NewBatcher returns a Batcher delivering to next in slices of the given
@@ -84,6 +93,8 @@ func (b *Batcher) Flush() {
 }
 
 func (b *Batcher) deliver(refs []Ref) {
+	b.refs += uint64(len(refs))
+	b.flushes++
 	if b.batch != nil {
 		b.batch.RefBatch(refs)
 		return
@@ -92,6 +103,9 @@ func (b *Batcher) deliver(refs []Ref) {
 		b.next.Ref(r)
 	}
 }
+
+// Stats returns the references delivered and batches flushed so far.
+func (b *Batcher) Stats() (refs, flushes uint64) { return b.refs, b.flushes }
 
 // Batch-path implementations for the built-in sinks.
 

@@ -1,0 +1,12 @@
+package trace
+
+import "repro/internal/obs"
+
+// ObserveInto merges the batcher's shard-local stream statistics into reg:
+// "trace.refs_streamed" (references delivered downstream) and
+// "trace.batches_flushed". Call once when the stream ends; Program.RunThread
+// does this for every workload run that goes through the batch path.
+func (b *Batcher) ObserveInto(reg *obs.Registry) {
+	reg.Counter("trace.refs_streamed").Add(b.refs)
+	reg.Counter("trace.batches_flushed").Add(b.flushes)
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 	"repro/internal/staticconf"
 	"repro/internal/trace"
 )
@@ -88,6 +89,7 @@ func (p *Program) RunThread(tid, threads int, sink trace.Sink) {
 		b := trace.NewBatcher(bs, 0)
 		p.runThread(tid, threads, b)
 		b.Flush()
+		b.ObserveInto(obs.Default)
 		return
 	}
 	p.runThread(tid, threads, sink)
