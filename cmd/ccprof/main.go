@@ -28,7 +28,9 @@ import (
 	"repro"
 	"repro/internal/advisor"
 	"repro/internal/core"
+	"repro/internal/faultinj"
 	"repro/internal/pmu"
+	"repro/internal/report"
 	"repro/internal/vmem"
 )
 
@@ -49,6 +51,8 @@ func main() {
 		pagePolicy  = flag.String("page-policy", "identity", "L2 mode: identity, sequential, or random frame allocation")
 		advise      = flag.Bool("advise", false, "run the pad advisor sweep for the workload and exit")
 		jobs        = flag.Int("j", 0, "sweep-executor workers for -advise and library sweeps (0 = GOMAXPROCS; results are identical at any value)")
+		faultDrop   = flag.Float64("fault-drop", 0, "inject deterministic sample drops at this rate in [0,1] (robustness testing)")
+		faultSeed   = flag.Int64("fault-seed", 23, "root seed of the injected fault plan")
 		obsOut      = flag.Bool("obs", false, "print the run's obs snapshot JSON to stderr on exit")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	)
@@ -89,6 +93,16 @@ func main() {
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *jobs < 0 {
+		usageError(fmt.Sprintf("invalid -j %d: worker count cannot be negative", *jobs))
+	}
+	var faults *faultinj.Plan
+	if *faultDrop != 0 {
+		faults = &faultinj.Plan{Seed: *faultSeed, DropRate: *faultDrop}
+		if err := faults.Validate(); err != nil {
+			usageError(err.Error())
+		}
 	}
 
 	ccprof.SetParallelism(*jobs)
@@ -162,12 +176,23 @@ func main() {
 			Period:  pmu.Uniform(p),
 			Seed:    *seed,
 			Threads: *threads,
+			Faults:  faults,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("profiled %s: %d refs, %d L1-miss events, %d samples (mean period %.0f), measured overhead %.2fx\n\n",
+		fmt.Printf("profiled %s: %d refs, %d L1-miss events, %d samples (mean period %.0f), measured overhead %.2fx\n",
 			prog.Name, prof.Refs, prof.Events, prof.SampleCount(), prof.PeriodMean, prof.MeasuredOverhead())
+		if prof.Degraded() {
+			note := report.DegradedNote{
+				SamplesDropped: prof.FaultDropped + prof.FaultTruncated,
+				SamplesAltered: prof.FaultCorrupted,
+			}
+			if err := note.Write(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println()
 	}
 
 	if *profileOut != "" {
@@ -349,6 +374,11 @@ func writeJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
+}
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "ccprof:", msg)
+	os.Exit(2)
 }
 
 func fatal(err error) {

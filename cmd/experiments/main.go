@@ -31,11 +31,34 @@ func main() {
 		quick       = flag.Bool("quick", false, "use shrunken workloads")
 		out         = flag.String("out", "", "write per-experiment artifact files to this directory")
 		jobs        = flag.Int("j", 0, "sweep-executor workers (0 = GOMAXPROCS; results are identical at any value)")
+		checkpoint  = flag.String("checkpoint", "", "checkpoint sweep shards to JSONL files in this directory (experiments that support it)")
+		resume      = flag.Bool("resume", false, "with -checkpoint: skip shards already persisted by a previous run")
 		obsOut      = flag.Bool("obs", false, "print each experiment's obs snapshot JSON to stderr")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+	if *jobs < 0 {
+		usageError(fmt.Sprintf("invalid -j %d: worker count cannot be negative", *jobs))
+	}
+	if *resume && *checkpoint == "" {
+		usageError("-resume requires -checkpoint DIR")
+	}
 	parsim.SetDefaultWorkers(*jobs)
+	if *checkpoint != "" {
+		// Fail before any experiment runs if the directory is unusable.
+		if err := os.MkdirAll(*checkpoint, 0o755); err != nil {
+			fatal(fmt.Errorf("checkpoint directory: %w", err))
+		}
+		experiments.SetCheckpoint(*checkpoint, *resume)
+	}
+	if *out != "" {
+		// Validate the artifact directory up front too: a sweep that runs
+		// for minutes must not discover an unwritable -out at its first
+		// write.
+		if err := probeDir(*out); err != nil {
+			fatal(fmt.Errorf("output directory: %w", err))
+		}
+	}
 
 	if *metricsAddr != "" {
 		addr, shutdown, err := obs.Default.Serve(*metricsAddr)
@@ -128,6 +151,26 @@ func writeObsSnapshot(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// probeDir verifies dir exists (creating it if needed) and is writable by
+// creating and removing a probe file.
+func probeDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
+}
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "experiments:", msg)
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -141,10 +141,10 @@ type loopState struct {
 // the sampled miss sequences, and classifies each loop.
 func Analyze(prof *Profile, bin *objfile.Binary, arena *alloc.Arena, opts AnalyzeOptions) (*Analysis, error) {
 	if prof == nil {
-		return nil, fmt.Errorf("core: nil profile")
+		return nil, ErrNilProfile
 	}
 	if bin == nil {
-		return nil, fmt.Errorf("core: nil binary")
+		return nil, ErrNilBinary
 	}
 	defer obs.Default.StartPhase("analyze")()
 	obs.Default.Counter("analyze.runs").Inc()

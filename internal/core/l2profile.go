@@ -71,7 +71,7 @@ func (a *L2Analysis) TopData() []string {
 // page-mapping policy and computes RCD metrics over physical set indices.
 func ProfileL2(p *workloads.Program, opts L2ProfileOptions) (*L2Analysis, error) {
 	if p == nil {
-		return nil, fmt.Errorf("core: nil program")
+		return nil, ErrNilProgram
 	}
 	if opts.L1.Sets == 0 {
 		opts.L1 = mem.L1Default()
@@ -87,6 +87,13 @@ func ProfileL2(p *workloads.Program, opts L2ProfileOptions) (*L2Analysis, error)
 		if opts.Threshold < rcd.DefaultThreshold {
 			opts.Threshold = rcd.DefaultThreshold
 		}
+	}
+	// Validate both cache levels' resolved sampler parameters up front.
+	if err := (pmu.Config{Geom: opts.L1, Period: opts.Period}).Validate(); err != nil {
+		return nil, fmt.Errorf("core: L2 profile config (L1 level): %w", err)
+	}
+	if err := (pmu.Config{Geom: opts.L2, Period: opts.Period}).Validate(); err != nil {
+		return nil, fmt.Errorf("core: L2 profile config (L2 level): %w", err)
 	}
 	defer obs.Default.StartPhase("profile.l2")()
 	space := vmem.NewSpace(opts.Policy, nil)

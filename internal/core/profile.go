@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinj"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/parsim"
@@ -41,6 +42,22 @@ type Profile struct {
 	// in-harness overhead measurement.
 	BaselineNs int64
 	ProfiledNs int64
+	// FaultDropped, FaultTruncated and FaultCorrupted annotate degraded
+	// profiles: samples an injected fault plan discarded, discarded in
+	// truncation bursts, or delivered with rewritten addresses, summed
+	// across threads. All zero when profiling ran without fault injection.
+	// They are deterministic for a given plan seed and are not part of the
+	// profile's binary serialization (a saved profile carries the damage
+	// in its sample stream, not the ledger).
+	FaultDropped   uint64
+	FaultTruncated uint64
+	FaultCorrupted uint64
+}
+
+// Degraded reports whether fault injection perturbed this profile's sample
+// stream.
+func (p *Profile) Degraded() bool {
+	return p.FaultDropped > 0 || p.FaultTruncated > 0 || p.FaultCorrupted > 0
 }
 
 // SampleCount returns the total samples across threads.
@@ -76,6 +93,12 @@ type ProfileOptions struct {
 	// Burst captures this many consecutive miss events per period expiry
 	// (bursty sampling, §5.2); 0 or 1 samples single events.
 	Burst int
+	// Faults, when non-nil and active, deterministically perturbs each
+	// thread's sample stream (see internal/faultinj). Injector seeds
+	// derive from the plan seed and the key
+	// "faults/<workload>/thread/<tid>", so the perturbation is identical
+	// at any worker count or scheduling.
+	Faults *faultinj.Plan
 }
 
 func (o ProfileOptions) withDefaults() ProfileOptions {
@@ -97,9 +120,17 @@ func (o ProfileOptions) withDefaults() ProfileOptions {
 // PEBS contexts.
 func ProfileProgram(p *workloads.Program, opts ProfileOptions) (*Profile, error) {
 	if p == nil {
-		return nil, fmt.Errorf("core: nil program")
+		return nil, ErrNilProgram
 	}
 	o := opts.withDefaults()
+	if err := o.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("core: fault plan: %w", err)
+	}
+	// Validate the resolved sampler configuration once, up front: every
+	// per-thread Config below differs only in seed and injector.
+	if err := (pmu.Config{Geom: o.Geom, Period: o.Period, Burst: o.Burst}).Validate(); err != nil {
+		return nil, fmt.Errorf("core: profile config: %w", err)
+	}
 	defer obs.Default.StartPhase("profile")()
 	obs.Default.Counter("profile.runs").Inc()
 	burst := o.Burst
@@ -135,7 +166,14 @@ func ProfileProgram(p *workloads.Program, opts ProfileOptions) (*Profile, error)
 		if tid > 0 {
 			seed = parsim.DeriveSeed(o.Seed, fmt.Sprintf("thread/%d", tid))
 		}
-		s := pmu.NewSampler(pmu.Config{Geom: o.Geom, Period: o.Period, Seed: seed, Burst: o.Burst})
+		cfg := pmu.Config{Geom: o.Geom, Period: o.Period, Seed: seed, Burst: o.Burst}
+		if o.Faults.Active() {
+			// The interface field must stay truly nil for clean runs
+			// (a typed-nil injector would still trip pmu's Faults != nil
+			// bookkeeping).
+			cfg.Faults = o.Faults.Injector(fmt.Sprintf("faults/%s/thread/%d", p.Name, tid))
+		}
+		s := pmu.NewSampler(cfg)
 		samplers[tid] = s
 		wg.Add(1)
 		go func(tid int) {
@@ -152,6 +190,9 @@ func ProfileProgram(p *workloads.Program, opts ProfileOptions) (*Profile, error)
 		prof.Samples[tid] = s.Samples
 		prof.Events += s.Events
 		prof.Refs += s.Refs
+		prof.FaultDropped += s.FaultDropped
+		prof.FaultTruncated += s.FaultTruncated
+		prof.FaultCorrupted += s.FaultCorrupted
 		s.ObserveInto(obs.Default)
 	}
 	if !o.NoTime {

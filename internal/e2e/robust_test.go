@@ -1,0 +1,153 @@
+package e2e_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsUnknownName: the registry rejects unknown experiment
+// names with a one-line error and exit 2.
+func TestExperimentsUnknownName(t *testing.T) {
+	_, stderr, exit := run(t, "experiments", "-quick", "-run", "no-such-experiment")
+	if exit != 2 {
+		t.Fatalf("exit %d, want 2 (stderr %q)", exit, stderr)
+	}
+	if !strings.Contains(stderr, "no-such-experiment") || strings.Count(strings.TrimSpace(stderr), "\n") != 0 {
+		t.Errorf("want a one-line error naming the experiment, got: %q", stderr)
+	}
+}
+
+// TestInvalidJobs: both CLIs reject a negative -j before doing any work.
+func TestInvalidJobs(t *testing.T) {
+	for _, tc := range []struct {
+		bin  string
+		args []string
+	}{
+		{"experiments", []string{"-j", "-3", "-quick", "-run", "fig9"}},
+		{"ccprof", []string{"-j", "-3", "nw"}},
+	} {
+		_, stderr, exit := run(t, tc.bin, tc.args...)
+		if exit != 2 {
+			t.Errorf("%s %v: exit %d, want 2 (stderr %q)", tc.bin, tc.args, exit, stderr)
+		}
+		if !strings.Contains(stderr, "invalid -j") {
+			t.Errorf("%s: want one-line invalid -j error, got %q", tc.bin, stderr)
+		}
+	}
+}
+
+// TestExperimentsUnwritableOut: an unwritable -out fails up front with a
+// non-zero exit, before any experiment burns time.
+func TestExperimentsUnwritableOut(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if f, err := os.CreateTemp(dir, "w"); err == nil {
+		f.Close()
+		t.Skip("running with privileges that ignore directory permissions")
+	}
+	out := filepath.Join(dir, "artifacts")
+	_, stderr, exit := run(t, "experiments", "-quick", "-run", "fig9", "-out", out)
+	if exit == 0 {
+		t.Fatalf("unwritable -out exited 0 (stderr %q)", stderr)
+	}
+	if !strings.Contains(stderr, "output directory") {
+		t.Errorf("want an output-directory error, got %q", stderr)
+	}
+}
+
+// TestExperimentsResumeWithoutCheckpoint: -resume alone is a usage error.
+func TestExperimentsResumeWithoutCheckpoint(t *testing.T) {
+	_, stderr, exit := run(t, "experiments", "-resume")
+	if exit != 2 {
+		t.Fatalf("exit %d, want 2 (stderr %q)", exit, stderr)
+	}
+	if !strings.Contains(stderr, "-resume requires -checkpoint") {
+		t.Errorf("want the -resume usage error, got %q", stderr)
+	}
+}
+
+// TestCCProfFaultInjection: the -fault-drop flag degrades the profile and
+// the report says so; an out-of-range rate is a usage error.
+func TestCCProfFaultInjection(t *testing.T) {
+	stdout, stderr, exit := run(t, "ccprof", "-fault-drop", "0.3", "nw")
+	if exit != 0 {
+		t.Fatalf("ccprof -fault-drop 0.3 nw: exit %d, stderr %q", exit, stderr)
+	}
+	if !strings.Contains(stdout, "degraded: ") || !strings.Contains(stdout, "samples dropped") {
+		t.Errorf("degraded run must be annotated:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "CONFLICT MISSES DETECTED") {
+		t.Errorf("30%% sample loss should not hide NW's conflicts:\n%s", stdout)
+	}
+
+	_, stderr, exit = run(t, "ccprof", "-fault-drop", "1.5", "nw")
+	if exit != 2 {
+		t.Fatalf("ccprof -fault-drop 1.5: exit %d, want 2 (stderr %q)", exit, stderr)
+	}
+	if !strings.Contains(stderr, "rate outside [0, 1]") {
+		t.Errorf("want the typed rate error, got %q", stderr)
+	}
+}
+
+// TestCCProfFaultDeterminism: the same fault seed reproduces the degraded
+// report byte-for-byte; a different seed changes the damage.
+func TestCCProfFaultDeterminism(t *testing.T) {
+	args := []string{"-fault-drop", "0.2", "-fault-seed", "5", "adi"}
+	a, _, exitA := run(t, "ccprof", args...)
+	b, _, exitB := run(t, "ccprof", args...)
+	if exitA != 0 || exitB != 0 {
+		t.Fatalf("exits %d/%d", exitA, exitB)
+	}
+	// The overhead line carries wall-clock; compare from the degraded
+	// annotation down.
+	cut := func(s string) string {
+		i := strings.Index(s, "degraded:")
+		if i < 0 {
+			t.Fatalf("no degraded line:\n%s", s)
+		}
+		return s[i:]
+	}
+	if cut(a) != cut(b) {
+		t.Errorf("same fault seed produced different reports:\n--- a ---\n%s\n--- b ---\n%s", cut(a), cut(b))
+	}
+	c, _, _ := run(t, "ccprof", "-fault-drop", "0.2", "-fault-seed", "6", "adi")
+	if cut(a) == cut(c) {
+		t.Errorf("different fault seeds produced identical degraded reports")
+	}
+}
+
+// TestExperimentsFaultsCheckpointResume drives the crash-resume workflow
+// as a user would: run the faults experiment with -checkpoint, delete one
+// rate's checkpoint to fake a partial run, then -resume and compare the
+// classification table byte-for-byte.
+func TestExperimentsFaultsCheckpointResume(t *testing.T) {
+	ckdir := t.TempDir()
+	full, stderr, exit := run(t, "experiments", "-quick", "-run", "faults", "-checkpoint", ckdir)
+	if exit != 0 {
+		t.Fatalf("faults with -checkpoint: exit %d, stderr %q", exit, stderr)
+	}
+	entries, err := filepath.Glob(filepath.Join(ckdir, "faults-rate*.ckpt"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no checkpoint files written (%v)", err)
+	}
+	// Fake the crash: the last rate never completed.
+	if err := os.Remove(entries[len(entries)-1]); err != nil {
+		t.Fatal(err)
+	}
+	resumed, stderr, exit := run(t, "experiments", "-quick", "-run", "faults", "-checkpoint", ckdir, "-resume")
+	if exit != 0 {
+		t.Fatalf("faults with -resume: exit %d, stderr %q", exit, stderr)
+	}
+	if full != resumed {
+		t.Errorf("resumed report diverged from the uninterrupted one:\n--- full ---\n%s\n--- resumed ---\n%s",
+			full, resumed)
+	}
+	if !strings.Contains(resumed, "degraded: ") {
+		t.Errorf("faults report lacks the degraded annotation:\n%s", resumed)
+	}
+}

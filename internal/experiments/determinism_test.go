@@ -55,6 +55,7 @@ func sweepCases() []struct {
 		{"table3", func(w *bytes.Buffer) (any, error) { return Table3(w, Quick) }},
 		{"staticconf", func(w *bytes.Buffer) (any, error) { return StaticConf(w, Quick) }},
 		{"specgen", func(w *bytes.Buffer) (any, error) { return Specgen(w, Quick) }},
+		{"faults", func(w *bytes.Buffer) (any, error) { return Faults(w, Quick) }},
 	}
 }
 

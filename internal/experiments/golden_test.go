@@ -18,7 +18,10 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 // is a function of the simulated work alone, so any diff is a behavior
 // change that must be either fixed or consciously re-goldened with -update.
 var goldenNames = []string{
-	"fig7", "fig9", "table2", "table3", "staticconf", "specgen",
+	"fig7", "fig8", "fig9", "table2", "table3", "table4",
+	"staticconf", "specgen", "faults",
+	"ablation-burst", "ablation-associativity", "ablation-threshold",
+	"ablation-period-dist", "ablation-replacement",
 }
 
 // TestGolden diffs each experiment's rendered Quick-scale report

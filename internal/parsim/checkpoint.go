@@ -1,0 +1,140 @@
+package parsim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Checkpoint configures on-disk sweep checkpointing. The file is JSONL —
+// one {"i": index, "v": result} line per completed task, appended as tasks
+// finish — so a sweep killed mid-run loses at most the lines the OS had not
+// flushed. Results must round-trip through encoding/json (Go's float64
+// encoding is shortest-round-trip, so numeric results restore bit-exact and
+// a resumed sweep renders byte-identical reports).
+//
+// Restored shards skip execution entirely, so a resumed run performs less
+// simulated work: its obs counters (refs streamed, samples taken) shrink
+// accordingly while the result slice — and anything rendered from it —
+// stays identical.
+type Checkpoint struct {
+	// Path is the checkpoint file.
+	Path string
+	// Resume loads existing entries and skips their tasks. Without Resume
+	// an existing file is truncated and the sweep starts clean.
+	Resume bool
+}
+
+// ckEntry is one persisted task result.
+type ckEntry struct {
+	I int             `json:"i"`
+	V json.RawMessage `json:"v"`
+}
+
+// ckWriter appends completed results to the checkpoint file. Store failures
+// are sticky: the first one is kept and surfaced when the sweep ends.
+type ckWriter struct {
+	mu       sync.Mutex
+	f        *os.File
+	firstErr error
+}
+
+// openCheckpoint prepares the checkpoint for one sweep: on Resume it
+// restores persisted results into results (marking restored), tolerating a
+// truncated or corrupt trailing line (the signature of a crash mid-append),
+// then rewrites the file compactly from the restored entries — a torn
+// trailing line must not swallow the first entry appended after it. Without
+// Resume the file is truncated. The returned writer appends new completions.
+func openCheckpoint[T any](ck *Checkpoint, restored []bool, results []T) (*ckWriter, error) {
+	if ck.Resume {
+		if err := restoreCheckpoint(ck.Path, restored, results); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(ck.Path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &ckWriter{f: f}
+	for i, ok := range restored {
+		if ok {
+			w.store(i, results[i])
+		}
+	}
+	if err := w.err(); err != nil {
+		w.close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// restoreCheckpoint loads every parsable entry of a checkpoint file.
+// A missing file is an empty checkpoint. Unparsable lines (a partial append
+// from a crash) and out-of-range indexes are skipped, not errors: the
+// corresponding shards simply re-run.
+func restoreCheckpoint[T any](path string, restored []bool, results []T) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		var e ckEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue
+		}
+		if e.I < 0 || e.I >= len(results) || e.V == nil {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(e.V, &v); err != nil {
+			continue
+		}
+		results[e.I] = v
+		restored[e.I] = true
+	}
+	return sc.Err()
+}
+
+// store appends one completed result. Safe for concurrent workers.
+func (w *ckWriter) store(i int, v any) {
+	raw, err := json.Marshal(v)
+	if err == nil {
+		var line []byte
+		line, err = json.Marshal(ckEntry{I: i, V: raw})
+		if err == nil {
+			line = append(line, '\n')
+			w.mu.Lock()
+			if w.firstErr == nil {
+				_, werr := w.f.Write(line)
+				w.firstErr = werr
+			}
+			w.mu.Unlock()
+			return
+		}
+	}
+	w.mu.Lock()
+	if w.firstErr == nil {
+		w.firstErr = fmt.Errorf("encoding shard %d: %w", i, err)
+	}
+	w.mu.Unlock()
+}
+
+// err returns the first store failure, if any.
+func (w *ckWriter) err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.firstErr
+}
+
+// close releases the file handle.
+func (w *ckWriter) close() {
+	w.f.Close()
+}

@@ -14,17 +14,23 @@
 //  2. Randomness is derived, not shared. A task that needs an RNG seeds it
 //     with DeriveSeed(root, key) where key is a stable task name — never
 //     with a shared RNG, a worker id, or anything scheduling-dependent.
+//
+// The engine also owns the pipeline's failure story (see run.go): worker
+// panics are recovered into typed ShardErrors, failed tasks retry with
+// capped exponential backoff, a per-attempt deadline watchdog cancels hung
+// work via context, completed tasks can checkpoint to disk for -resume, and
+// sweeps can tolerate lost shards instead of failing (degraded mode). None
+// of that machinery feeds wall-clock into results, so the determinism
+// guarantee survives every recovery path.
 package parsim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
-
-	"repro/internal/obs"
 )
 
 // defaultWorkers is the pool size used when Options.Workers is 0.
@@ -53,6 +59,48 @@ func DefaultWorkers() int {
 type Options struct {
 	// Workers is the pool size; 0 selects DefaultWorkers().
 	Workers int
+
+	// Retries re-runs a failed task (error, recovered panic, or timeout)
+	// up to this many additional attempts before declaring the shard
+	// lost. 0 fails on the first error, as a serial loop would.
+	Retries int
+
+	// Backoff is the delay before a task's first retry, doubling on each
+	// subsequent retry and capped at BackoffCap. The schedule is
+	// deterministic (no jitter) and pure wall-clock pacing: it never
+	// reaches results, reports, or obs counters. 0 retries immediately.
+	Backoff time.Duration
+
+	// BackoffCap bounds the exponential backoff; 0 selects 500ms.
+	BackoffCap time.Duration
+
+	// Deadline is the per-attempt watchdog: each attempt runs under a
+	// context cancelled after this duration, and the worker stops waiting
+	// for it at the deadline (the attempt counts as a timeout and is
+	// retried like any failure). A hung attempt's goroutine is abandoned;
+	// cooperative tasks observe their context and exit. 0 disables the
+	// watchdog and runs attempts on the worker itself.
+	Deadline time.Duration
+
+	// Tolerate switches a sweep to graceful degradation: shards that
+	// exhaust their attempts keep the zero value at their index, the run
+	// returns a nil error, and the lost shards are listed (with typed
+	// causes) in Report.Failed. Without Tolerate every task still runs,
+	// but the sweep fails with the lowest failing index, as before.
+	Tolerate bool
+
+	// Checkpoint, when non-nil, persists each completed task's result to
+	// disk so a sweep killed mid-run can be re-run with Resume and skip
+	// the shards that already finished. See Checkpoint for the contract.
+	Checkpoint *Checkpoint
+}
+
+// backoffCap resolves the BackoffCap default.
+func (o Options) backoffCap() time.Duration {
+	if o.BackoffCap > 0 {
+		return o.BackoffCap
+	}
+	return 500 * time.Millisecond
 }
 
 // A TaskError wraps the error of one failed task with its index, so a
@@ -79,87 +127,12 @@ func (e *TaskError) Unwrap() error { return e.Err }
 //
 // fn must not share mutable state across indexes; it may be called from
 // multiple goroutines concurrently, but never twice for the same index.
+// Tasks that want retry/deadline awareness or cancellation take RunCtx.
 func Run[T any](n int, opts Options, fn func(i int) (T, error)) ([]T, error) {
-	if n <= 0 {
-		return nil, nil
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
-
-	// Sweep-level observability: deterministic run/task counters plus the
-	// worker-count gauge (configuration), and wall-clock spans for the
-	// sweep and each worker's busy time ("parsim.worker_busy" count vs
-	// "parsim.run" total is the pool utilization). Spans live only in the
-	// timing section of snapshots, never in experiment output.
-	reg := obs.Default
-	reg.Counter("parsim.runs").Inc()
-	reg.Counter("parsim.tasks").Add(uint64(n))
-	reg.Gauge("parsim.workers").Set(int64(workers))
-	defer reg.StartPhase("parsim.run")()
-
-	results := make([]T, n)
-	errs := make([]error, n)
-
-	if workers == 1 {
-		// Serial fallback: same semantics, no goroutines. This is the
-		// path -j 1 and GOMAXPROCS=1 CI exercise against the pool.
-		done := reg.StartPhase("parsim.worker_busy")
-		for i := 0; i < n; i++ {
-			results[i], errs[i] = fn(i)
-		}
-		done()
-		return results, countErrors(reg, errs)
-	}
-
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			start := time.Now()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					reg.ObservePhase("parsim.worker_busy", time.Since(start))
-					return
-				}
-				results[i], errs[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return results, countErrors(reg, errs)
-}
-
-// countErrors tallies failed tasks into reg and returns a TaskError for
-// the lowest failing index, or nil.
-func countErrors(reg *obs.Registry, errs []error) error {
-	failed := uint64(0)
-	for _, err := range errs {
-		if err != nil {
-			failed++
-		}
-	}
-	if failed > 0 {
-		reg.Counter("parsim.task_errors").Add(failed)
-	}
-	return firstError(errs)
-}
-
-// firstError returns a TaskError for the lowest failing index, or nil.
-func firstError(errs []error) error {
-	for i, err := range errs {
-		if err != nil {
-			return &TaskError{Index: i, Err: err}
-		}
-	}
-	return nil
+	results, _, err := RunCtx(n, opts, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+	return results, err
 }
 
 // DeriveSeed derives a task RNG seed from a root seed and a stable task

@@ -15,6 +15,11 @@ func (s *Sampler) ObserveInto(reg *obs.Registry) {
 	reg.Counter("pmu.events").Add(s.Events)
 	reg.Counter("pmu.samples").Add(s.count)
 	reg.Counter("pmu.samples_dropped").Add(s.Dropped)
+	if s.cfg.Faults != nil {
+		reg.Counter("pmu.fault_dropped").Add(s.FaultDropped)
+		reg.Counter("pmu.fault_truncated").Add(s.FaultTruncated)
+		reg.Counter("pmu.fault_corrupted").Add(s.FaultCorrupted)
+	}
 	s.l1.ObserveInto(reg, "pmu.l1")
 }
 

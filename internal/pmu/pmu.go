@@ -13,6 +13,7 @@
 package pmu
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -104,6 +105,54 @@ func (g Geometric) Mean() float64 { return float64(g) }
 
 func (g Geometric) String() string { return fmt.Sprintf("geometric(%d)", uint64(g)) }
 
+// FaultAction is a fault injector's verdict on one raised sample.
+type FaultAction uint8
+
+// Verdicts a FaultInjector can return from OnSample.
+const (
+	// FaultKeep delivers the sample unchanged.
+	FaultKeep FaultAction = iota
+	// FaultCorrupt delivers the rewritten sample the injector returned
+	// (an aliased/corrupted data address, like a mangled PEBS record).
+	FaultCorrupt
+	// FaultDrop discards the sample (a lost PEBS interrupt).
+	FaultDrop
+	// FaultTruncate discards the sample as part of a buffer-overflow
+	// burst (records lost wholesale when the buffer wraps before a
+	// drain), counted separately from single-record drops.
+	FaultTruncate
+)
+
+// FaultInjector perturbs the sample stream a Sampler produces, modelling
+// the lossiness of real PEBS collection. Implementations must be pure
+// functions of their own seed and the call sequence — never of wall clock,
+// scheduling, or shared state — so a faulted profile is exactly as
+// reproducible as a clean one (see internal/faultinj).
+type FaultInjector interface {
+	// SkewPeriod maps each drawn sampling period to the perturbed period
+	// actually armed (>= 1).
+	SkewPeriod(period uint64) uint64
+	// OnSample judges the n-th raised sample (n counts every raise,
+	// delivered or not) and returns the possibly rewritten sample along
+	// with the action to take.
+	OnSample(n uint64, s Sample) (Sample, FaultAction)
+}
+
+// Typed Config validation errors, matchable with errors.Is through the
+// error Validate wraps them in.
+var (
+	// ErrBadGeometry reports a cache geometry with a non-positive
+	// dimension.
+	ErrBadGeometry = errors.New("pmu: cache geometry dimensions must be positive")
+	// ErrBadPeriod reports a period distribution whose mean is zero or
+	// negative: such a sampler would either never fire or spin.
+	ErrBadPeriod = errors.New("pmu: sampling period mean must be positive")
+	// ErrBadMaxSamples reports a negative sample-buffer bound.
+	ErrBadMaxSamples = errors.New("pmu: MaxSamples must be >= 0")
+	// ErrBadBurst reports a negative burst length.
+	ErrBadBurst = errors.New("pmu: Burst must be >= 0")
+)
+
 // Config configures a Sampler.
 type Config struct {
 	Geom   mem.Geometry // geometry of the sampled (L1) cache
@@ -123,6 +172,34 @@ type Config struct {
 	// consumes every sample. Dropping is a function of the deterministic
 	// event stream alone, so it does not perturb reproducibility.
 	MaxSamples int
+
+	// Faults, when non-nil, deterministically perturbs the sample stream:
+	// every drawn period passes through SkewPeriod and every raised
+	// sample through OnSample before delivery. Dropped/truncated/
+	// corrupted counts accrue to the sampler's Fault* counters. Nil
+	// injects nothing.
+	Faults FaultInjector
+}
+
+// Validate returns a typed error (ErrBadGeometry, ErrBadPeriod,
+// ErrBadMaxSamples, ErrBadBurst) for configurations that cannot produce a
+// meaningful profile, instead of letting them run into empty or nonsense
+// sample streams. A nil Period is valid (NewSampler installs the default).
+func (c Config) Validate() error {
+	if c.Geom.LineSize <= 0 || c.Geom.Sets <= 0 || c.Geom.Ways <= 0 {
+		return fmt.Errorf("%w (got %dB lines, %d sets, %d ways)",
+			ErrBadGeometry, c.Geom.LineSize, c.Geom.Sets, c.Geom.Ways)
+	}
+	if c.Period != nil && c.Period.Mean() <= 0 {
+		return fmt.Errorf("%w (got %s, mean %g)", ErrBadPeriod, c.Period, c.Period.Mean())
+	}
+	if c.MaxSamples < 0 {
+		return fmt.Errorf("%w (got %d)", ErrBadMaxSamples, c.MaxSamples)
+	}
+	if c.Burst < 0 {
+		return fmt.Errorf("%w (got %d)", ErrBadBurst, c.Burst)
+	}
+	return nil
 }
 
 // Sampler consumes a reference stream and produces address samples of
@@ -143,6 +220,13 @@ type Sampler struct {
 	// full (see Config.MaxSamples). Always 0 when the buffer is unbounded
 	// or a Handler is installed.
 	Dropped uint64
+	// FaultDropped, FaultTruncated and FaultCorrupted count samples the
+	// configured FaultInjector dropped, discarded in buffer-truncation
+	// bursts, or delivered with a rewritten address. All 0 when
+	// Config.Faults is nil.
+	FaultDropped   uint64
+	FaultTruncated uint64
+	FaultCorrupted uint64
 	// Samples is the collected sample buffer.
 	Samples []Sample
 
@@ -150,7 +234,8 @@ type Sampler struct {
 	// appending to Samples (an "online" consumer).
 	Handler func(Sample)
 
-	count uint64 // samples taken, whether buffered or handled
+	count  uint64 // samples taken, whether buffered or handled
+	raised uint64 // samples raised, before fault injection
 }
 
 // NewSampler returns a Sampler with the given configuration.
@@ -163,8 +248,20 @@ func NewSampler(cfg Config) *Sampler {
 		l1:  cache.New(cfg.Geom, cache.LRU, nil),
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
-	s.next = s.cfg.Period.NextPeriod(s.rng)
+	s.next = s.drawPeriod()
 	return s
+}
+
+// drawPeriod draws the next sampling period, routed through the fault
+// injector's skew when one is configured.
+func (s *Sampler) drawPeriod() uint64 {
+	p := s.cfg.Period.NextPeriod(s.rng)
+	if s.cfg.Faults != nil {
+		if p = s.cfg.Faults.SkewPeriod(p); p < 1 {
+			p = 1
+		}
+	}
+	return p
 }
 
 // DefaultPeriod is the mean sampling period the paper recommends (§5.3):
@@ -199,7 +296,7 @@ func (s *Sampler) ref(r trace.Ref) {
 	if s.next > 0 {
 		return
 	}
-	s.next = s.cfg.Period.NextPeriod(s.rng)
+	s.next = s.drawPeriod()
 	if s.cfg.Burst > 1 {
 		s.burst = s.cfg.Burst - 1
 	}
@@ -222,6 +319,21 @@ func (s *Sampler) Grow(n int) {
 
 func (s *Sampler) deliver(r trace.Ref) {
 	sm := Sample{IP: r.IP, Addr: r.Addr}
+	n := s.raised
+	s.raised++
+	if f := s.cfg.Faults; f != nil {
+		var act FaultAction
+		switch sm, act = f.OnSample(n, sm); act {
+		case FaultDrop:
+			s.FaultDropped++
+			return
+		case FaultTruncate:
+			s.FaultTruncated++
+			return
+		case FaultCorrupt:
+			s.FaultCorrupted++
+		}
+	}
 	if s.Handler != nil {
 		s.count++
 		s.Handler(sm)
@@ -238,6 +350,11 @@ func (s *Sampler) deliver(r trace.Ref) {
 // SampleCount returns the number of samples taken so far, whether buffered
 // in Samples or delivered to Handler.
 func (s *Sampler) SampleCount() uint64 { return s.count }
+
+// RaisedCount returns the number of samples the hardware raised, before
+// fault injection and buffer bounds discarded any; the denominator of every
+// loss-rate calculation.
+func (s *Sampler) RaisedCount() uint64 { return s.raised }
 
 // MissRatio returns the L1 miss ratio the hardware observed.
 func (s *Sampler) MissRatio() float64 { return s.l1.MissRatio() }

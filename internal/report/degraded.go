@@ -1,0 +1,38 @@
+package report
+
+import (
+	"fmt"
+	"io"
+)
+
+// DegradedNote is the degraded-mode annotation a report carries when its
+// run executed under fault injection or lost work to recovered failures:
+// how much of the sweep and of the sample stream survived. Every field is
+// a deterministic function of the run's fault plan and seed, so annotated
+// reports stay byte-identical at any worker count.
+type DegradedNote struct {
+	ShardsLost      int
+	SamplesDropped  uint64 // samples discarded (drops + truncation bursts)
+	SamplesAltered  uint64 // samples delivered with corrupted addresses
+	Retries         int
+	PanicsRecovered int
+	Restored        int // shards restored from a checkpoint instead of run
+}
+
+// Degraded reports whether there is anything to annotate.
+func (d DegradedNote) Degraded() bool {
+	return d != DegradedNote{}
+}
+
+// Write renders the annotation as a single line. A zero note renders a
+// clean-run marker so fault-regime reports always state their health.
+func (d DegradedNote) Write(w io.Writer) error {
+	if !d.Degraded() {
+		_, err := fmt.Fprintf(w, "degraded: none (clean run)\n")
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"degraded: %d shards lost, %d samples dropped, %d corrupted, %d retries, %d panics recovered, %d restored from checkpoint\n",
+		d.ShardsLost, d.SamplesDropped, d.SamplesAltered, d.Retries, d.PanicsRecovered, d.Restored)
+	return err
+}
