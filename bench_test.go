@@ -14,9 +14,12 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/advisor"
+	"repro/internal/analytic"
 	"repro/internal/experiments"
 	"repro/internal/mem"
 	"repro/internal/pmu"
+	"repro/internal/staticconf"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -425,3 +428,91 @@ func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
 // multicore host this is where the engine's speedup shows; on a single
 // hardware thread it degrades gracefully to serial throughput.
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 4) }
+
+// analyticBenchSpecs collects the declared specs of the six case studies
+// (both variants) at quick scale — the 12 rows of the analytic
+// experiment's confusion matrix.
+func analyticBenchSpecs() []*staticconf.Spec {
+	var specs []*staticconf.Spec
+	for _, cs := range []*workloads.CaseStudy{
+		workloads.NewNW(512, 16),
+		workloads.NewFFT(128),
+		workloads.NewADI(256, 1),
+		workloads.NewTinyDNN(128, 1024, 1),
+		workloads.NewKripke(64, 32, 32),
+		workloads.NewHimeno(16, 16, 64, 1),
+	} {
+		for _, prog := range []*workloads.Program{cs.Original, cs.Optimized} {
+			if prog.Spec != nil {
+				specs = append(specs, prog.Spec)
+			}
+		}
+	}
+	return specs
+}
+
+// BenchmarkAnalyticModel measures the closed-form tier-0 model alone: one
+// complete analysis of every case-study variant per iteration. The
+// ns/variant metric is the cascade's per-candidate evaluation cost — the
+// number to hold against the per-candidate simulation cost reported by
+// BenchmarkAdvisorTierCascade/simulation-only.
+func BenchmarkAnalyticModel(b *testing.B) {
+	specs := analyticBenchSpecs()
+	g := mem.L1Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sp := range specs {
+			if _, err := analytic.Analyze(sp, g, analytic.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(specs)), "ns/variant")
+}
+
+// BenchmarkAdvisorTierCascade compares the advisor's pad sweep with the
+// static tiers off (every candidate simulated) and with the full cascade
+// on, over a dense 81-candidate grid on quick-scale ADI. The ns/cand
+// metric of the simulation-only run divided by BenchmarkAnalyticModel's
+// ns/variant is the per-candidate evaluation speedup of tier 0.
+func BenchmarkAdvisorTierCascade(b *testing.B) {
+	cs := workloads.NewADI(256, 1)
+	var pads []uint64
+	for p := uint64(0); p <= 640; p += 8 {
+		pads = append(pads, p)
+	}
+	run := func(b *testing.B, opts advisor.Options) {
+		opts.Pads = pads
+		for i := 0; i < b.N; i++ {
+			res, err := advisor.RecommendPad(cs.PadBuilder, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(res.Candidates)), "sims")
+			b.ReportMetric(float64(len(res.Pruned)), "pruned")
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(pads)), "ns/cand")
+	}
+	b.Run("simulation-only", func(b *testing.B) {
+		run(b, advisor.Options{})
+	})
+	b.Run("cascade", func(b *testing.B) {
+		run(b, advisor.Options{Tiers: advisor.Cascade(), Spec: cs.SpecBuilder(), StaticKeep: 2})
+	})
+	// analytic-eval is the apples-to-apples numerator-free comparison: the
+	// exact per-candidate work tier 0 does inside the cascade (spec build +
+	// closed-form analysis, no reference histogram) over the same grid.
+	b.Run("analytic-eval", func(b *testing.B) {
+		build := cs.SpecBuilder()
+		g := mem.L1Default()
+		for i := 0; i < b.N; i++ {
+			for _, p := range pads {
+				sp := build(p)
+				if _, err := analytic.Analyze(sp, g, analytic.Options{SkipTouches: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(pads)), "ns/cand")
+	})
+}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/advisor"
 	"repro/internal/alloc"
+	"repro/internal/analytic"
 	"repro/internal/cache"
 	"repro/internal/classify"
 	"repro/internal/core"
@@ -96,6 +97,12 @@ type (
 	StaticOptions = staticconf.Options
 	// StaticReport is the static analyzer's verdict for one spec.
 	StaticReport = staticconf.Report
+	// AnalyticOptions configures the closed-form analytic conflict model.
+	AnalyticOptions = analytic.Options
+	// AnalyticReport is the analytic model's verdict for one spec.
+	AnalyticReport = analytic.Report
+	// TierPolicy selects the static pruning tiers of the advisor cascade.
+	TierPolicy = advisor.TierPolicy
 )
 
 // ProfileProgram runs the workload under the simulated PMU (the online
@@ -294,6 +301,24 @@ func AnalyzeStatic(spec *AccessSpec, g Geometry, opts StaticOptions) (*StaticRep
 	}
 	return staticconf.Analyze(spec, g, opts)
 }
+
+// AnalyzeAnalytic classifies a kernel's affine access spec with the
+// closed-form tier-0 conflict model: predicted footprint, per-set
+// demand, reuse profile, contribution factor, and verdict, all from
+// pure arithmetic — no reference replayed, no window enumerated. It is
+// the cheapest tier of the advisor cascade; see internal/analytic for
+// the lattice model. The zero geometry selects L1Default.
+func AnalyzeAnalytic(spec *AccessSpec, g Geometry, opts AnalyticOptions) (*AnalyticReport, error) {
+	if g.Sets == 0 {
+		g = mem.L1Default()
+	}
+	return analytic.Analyze(spec, g, opts)
+}
+
+// Cascade returns the full three-tier advisor policy — the analytic
+// model, then the enumerating static analyzer, then exact simulation of
+// the surviving candidates — for Options.Tiers of RecommendPad.
+func Cascade() TierPolicy { return advisor.Cascade() }
 
 // MinimalPad returns the smallest row pad the static analyzer declares
 // conflict-free, scanning pads in Quantum steps — the closed-form

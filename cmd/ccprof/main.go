@@ -15,6 +15,7 @@
 //	ccprof -variant optimized adi # confirm padding removed the conflicts
 //	ccprof -period 31 himeno      # short conflict periods need fast sampling
 //	ccprof -static adi            # static affine verdict next to the dynamic one
+//	ccprof -analytic adi          # closed-form tier-0 verdict, no replay at all
 //	ccprof -advise -j 8 nw        # parallel pad sweep; output identical at any -j
 package main
 
@@ -47,6 +48,7 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the analysis as JSON instead of text")
 		compare     = flag.Bool("compare", false, "profile both variants and compare verdicts")
 		static      = flag.Bool("static", false, "also print the static affine conflict analysis (no execution)")
+		analyticF   = flag.Bool("analytic", false, "also print the closed-form analytic conflict model (no execution, no enumeration)")
 		l2          = flag.Bool("l2", false, "physically-indexed L2 profiling (the footnote-1 extension)")
 		pagePolicy  = flag.String("page-policy", "identity", "L2 mode: identity, sequential, or random frame allocation")
 		advise      = flag.Bool("advise", false, "run the pad advisor sweep for the workload and exit")
@@ -119,7 +121,7 @@ func main() {
 		return
 	}
 
-	if *static {
+	if *static || *analyticF {
 		progs := []*ccprof.Program{cs.Original}
 		if *compare {
 			progs = append(progs, cs.Optimized)
@@ -127,8 +129,15 @@ func main() {
 			progs[0] = cs.Optimized
 		}
 		for _, p := range progs {
-			if err := printStatic(p); err != nil {
-				fatal(err)
+			if *analyticF {
+				if err := printAnalytic(p); err != nil {
+					fatal(err)
+				}
+			}
+			if *static {
+				if err := printStatic(p); err != nil {
+					fatal(err)
+				}
 			}
 		}
 	}
@@ -224,16 +233,17 @@ func main() {
 	}
 }
 
-// advisePad runs the advisor's pad sweep for a case study: every candidate
-// pad is built and simulated on the parallel sweep executor (-j), and the
+// advisePad runs the advisor's tiered pad sweep for a case study: the
+// analytic and static tiers rule candidates out first, the survivors are
+// built and simulated on the parallel sweep executor (-j), and the
 // cheapest pad that removes the conflict signature is recommended.
 func advisePad(cs *ccprof.CaseStudy) error {
 	if cs.PadBuilder == nil {
 		return fmt.Errorf("%s has no pad builder (its fix is not a row pad)", cs.Name)
 	}
 	res, err := ccprof.RecommendPad(cs.PadBuilder, advisor.Options{
-		StaticFirst: true,
-		Spec:        cs.SpecBuilder(),
+		Tiers: ccprof.Cascade(),
+		Spec:  cs.SpecBuilder(),
 	})
 	if err != nil {
 		return err
@@ -250,6 +260,12 @@ func advisePad(cs *ccprof.CaseStudy) error {
 	}
 	if len(res.Pruned) > 0 {
 		fmt.Printf("\nstatically pruned (no simulation): %v\n", res.Pruned)
+		if len(res.PrunedAnalytic) > 0 {
+			fmt.Printf("  by the analytic tier: %v\n", res.PrunedAnalytic)
+		}
+		if len(res.PrunedStatic) > 0 {
+			fmt.Printf("  by the static tier:   %v\n", res.PrunedStatic)
+		}
 	}
 	fmt.Printf("\nrecommended pad: %d bytes (%.1f%% cycle reduction over pad 0)\n",
 		res.Best.Pad, 100*res.Improvement())
@@ -363,6 +379,26 @@ func printStatic(prog *ccprof.Program) error {
 		return err
 	}
 	fmt.Printf("static analysis of %s (no execution):\n", prog.Name)
+	if err := rep.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+// printAnalytic runs the closed-form tier-0 conflict model on the
+// workload's declared access spec and prints its report: predicted set
+// demand, contribution factor, and verdict from pure arithmetic.
+func printAnalytic(prog *ccprof.Program) error {
+	if prog.Spec == nil {
+		fmt.Printf("analytic model: %s declares no access spec (data-dependent kernel)\n\n", prog.Name)
+		return nil
+	}
+	rep, err := ccprof.AnalyzeAnalytic(prog.Spec, ccprof.L1Default(), ccprof.AnalyticOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analytic model of %s (no execution, no enumeration):\n", prog.Name)
 	if err := rep.WriteText(os.Stdout); err != nil {
 		return err
 	}

@@ -7,30 +7,73 @@
 //
 // Usage:
 //
-//	conflint [-fail] [-v] [packages]
+//	conflint [-fail] [-json] [-baseline FILE] [-v] [packages]
 //
 // Packages are directories; the Go-style wildcard dir/... lints every
 // package below dir (skipping testdata, vendor, and hidden directories).
 // With no arguments, ./... is linted. Packages without lintable kernels
 // are silently skipped, so running conflint over a whole module is cheap.
 // With -fail, the exit status is 1 when any finding is reported.
+//
+// Every finding carries the closed-form analytic model's predicted
+// contribution factor for its kernel and the derived severity band
+// (high ≥ 70%, medium ≥ 25%, low below). -json replaces the human
+// format with one machine-readable document: the findings with
+// file/line split out of the loop location, plus the lint totals.
+// -baseline FILE compares the run against a previous -json document
+// and exits 1 only when a finding not present in the baseline appears —
+// the ratchet mode CI uses over packages with known, intentional
+// pathologies.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/mem"
 	"repro/internal/specgen"
 )
 
+// jsonFinding is one finding in the -json document, with the loop
+// location split into file and line for machine consumers.
+type jsonFinding struct {
+	Dir         string  `json:"dir"`
+	Ctor        string  `json:"ctor"`
+	Kernel      string  `json:"kernel"`
+	Array       string  `json:"array,omitempty"`
+	Loop        string  `json:"loop,omitempty"`
+	File        string  `json:"file,omitempty"`
+	Line        int     `json:"line,omitempty"`
+	Kind        string  `json:"kind"`
+	Detail      string  `json:"detail"`
+	Severity    string  `json:"severity"`
+	PredictedCF float64 `json:"predicted_cf"`
+}
+
+// key identifies a finding across runs for the baseline ratchet:
+// location and kind, not the detail text (which carries counts that
+// drift with workload scale).
+func (f jsonFinding) key() string {
+	return strings.Join([]string{f.Dir, f.Ctor, f.Kernel, f.Array, f.Loop, f.Kind}, "|")
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Kernels  int           `json:"kernels"`
+	Findings []jsonFinding `json:"findings"`
+}
+
 func main() {
 	fail := flag.Bool("fail", false, "exit with status 1 when findings are reported")
+	jsonOut := flag.Bool("json", false, "emit machine-readable findings instead of the human format")
+	baseline := flag.String("baseline", "", "compare against this -json document; exit 1 only on findings absent from it")
 	verbose := flag.Bool("v", false, "also list linted kernels and skipped functions")
 	flag.Parse()
 
@@ -45,7 +88,7 @@ func main() {
 	}
 
 	g := mem.L1Default()
-	kernels, findings := 0, 0
+	out := jsonReport{Findings: []jsonFinding{}}
 	for _, dir := range dirs {
 		rep, err := specgen.LintDir(dir, g)
 		if err != nil {
@@ -55,21 +98,88 @@ func main() {
 			}
 			continue
 		}
-		kernels += len(rep.Kernels)
-		findings += len(rep.Findings)
+		out.Kernels += len(rep.Kernels)
 		for _, f := range rep.Findings {
-			fmt.Printf("%s: %s\n", dir, f)
+			out.Findings = append(out.Findings, toJSON(dir, f))
+			if !*jsonOut {
+				fmt.Printf("%s: %s\n", dir, f)
+			}
 		}
-		if *verbose {
+		if *verbose && !*jsonOut {
 			for _, k := range rep.Kernels {
 				fmt.Printf("%s: linted %s (%s): %d findings\n", dir, k.Ctor, k.Kernel, k.Findings)
 			}
 		}
 	}
-	fmt.Printf("conflint: %d kernels linted, %d findings\n", kernels, findings)
-	if *fail && findings > 0 {
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Printf("conflint: %d kernels linted, %d findings\n", out.Kernels, len(out.Findings))
+	}
+
+	if *baseline != "" {
+		fresh, err := newFindings(out.Findings, *baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range fresh {
+			fmt.Fprintf(os.Stderr, "conflint: new finding not in baseline: %s: %s: %s [%s]\n",
+				f.Dir, f.Kernel, f.Kind, f.Severity)
+		}
+		if len(fresh) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *fail && len(out.Findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// toJSON converts a lint finding, splitting the "file.c:line" loop
+// location of per-access findings.
+func toJSON(dir string, f specgen.Finding) jsonFinding {
+	j := jsonFinding{
+		Dir: dir, Ctor: f.Ctor, Kernel: f.Kernel, Array: f.Array, Loop: f.Loop,
+		Kind: f.Kind, Detail: f.Detail, Severity: f.Severity, PredictedCF: f.PredictedCF,
+	}
+	if file, line, ok := strings.Cut(f.Loop, ":"); ok {
+		if n, err := strconv.Atoi(line); err == nil {
+			j.File, j.Line = file, n
+		}
+	}
+	return j
+}
+
+// newFindings returns the findings whose key is absent from the
+// baseline -json document at path.
+func newFindings(findings []jsonFinding, path string) ([]jsonFinding, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base jsonReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	known := make(map[string]bool, len(base.Findings))
+	for _, f := range base.Findings {
+		known[f.key()] = true
+	}
+	var fresh []jsonFinding
+	for _, f := range findings {
+		if !known[f.key()] {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, nil
 }
 
 // expand resolves the package arguments to a sorted list of directories,

@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analytic"
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/parsim"
 	"repro/internal/rcd"
 	"repro/internal/staticconf"
@@ -42,9 +44,15 @@ type Result struct {
 	Baseline Candidate
 	// Candidates lists every evaluated pad in evaluation order.
 	Candidates []Candidate
-	// Pruned lists the pads the static analyzer ruled out without
-	// simulation (StaticFirst runs only; nil otherwise).
+	// Pruned lists every pad ruled out without simulation, ascending
+	// (tiered runs only; nil otherwise).
 	Pruned []uint64
+	// PrunedAnalytic and PrunedStatic attribute pruned pads to the tier
+	// whose verdict removed them: tier 0 is the closed-form analytic
+	// model, tier 1 the enumerating static analyzer. Pads in Pruned but
+	// in neither list were statically clean beyond the keep limit.
+	PrunedAnalytic []uint64
+	PrunedStatic   []uint64
 }
 
 // Improvement returns the cycle reduction of Best over Baseline, in [0, 1].
@@ -72,12 +80,28 @@ type Options struct {
 	// pad can score well on cycles because its extra L1 conflict misses
 	// hit in L2). 0 selects 0.25; 1 or more ranks on cycles alone.
 	ConflictCF float64
-	// StaticFirst prunes the candidate list with the static analyzer
-	// before any cache simulation runs: only pad 0, pads whose spec is
-	// unavailable, and the StaticKeep smallest statically-clean pads are
-	// simulated. If the analyzer clears no pad at all, the advisor falls
-	// back to the full sweep — the static model abstains rather than
-	// blocking the search.
+	// Tiers selects the static pruning tiers of the advisor cascade
+	// (analytic → staticconf → full simulation). Each active tier rules
+	// candidate pads out before any cache simulation runs: only pad 0,
+	// pads whose spec is unavailable, and the StaticKeep smallest pads
+	// every active tier declares clean are simulated. Tier 0 (analytic)
+	// classifies a candidate arithmetically in microseconds; tier 1
+	// (staticconf) enumerates its reuse windows; the survivors go to
+	// full simulation. If no pad at all comes back clean, the cascade
+	// abstains and the full candidate list is swept — the static tiers
+	// narrow the search, they never block it.
+	//
+	// The pruning is simulation-verified: when a statically-clean pad
+	// measures conflicted under simulation (the models were wrong
+	// there), or no simulated candidate clears ConflictCF, the advisor
+	// escalates — it pulls the next StaticKeep statically-clean pads
+	// out of the pruned surplus and simulates them too, batch by batch,
+	// until a batch confirms the static verdicts or the surplus runs
+	// out. A miscalibrated model therefore costs extra simulations, not
+	// a wrong recommendation.
+	Tiers TierPolicy
+	// StaticFirst is the pre-cascade spelling of Tiers.Static, kept for
+	// compatibility: it enables tier 1 only.
 	StaticFirst bool
 	// Spec builds the kernel's static access spec at a candidate pad
 	// (typically CaseStudy.SpecBuilder()). nil disables pruning even
@@ -93,6 +117,26 @@ type Options struct {
 	// the process default (GOMAXPROCS, or the -j flag of cmd/ccprof).
 	Workers int
 }
+
+// TierPolicy selects which static tiers of the advisor cascade prune
+// the candidate list before full simulation. The zero value disables
+// pruning; Cascade() enables the whole cascade.
+type TierPolicy struct {
+	// Analytic enables tier 0: the closed-form conflict model
+	// (internal/analytic), which classifies a candidate layout without
+	// replaying or enumerating a single reference.
+	Analytic bool
+	// Static enables tier 1: the enumerating static analyzer
+	// (internal/staticconf), which measures per-set demand from one
+	// enumerated reuse window per access.
+	Static bool
+}
+
+// Cascade is the full three-tier policy: analytic, then staticconf,
+// then simulation of the survivors.
+func Cascade() TierPolicy { return TierPolicy{Analytic: true, Static: true} }
+
+func (p TierPolicy) active() bool { return p.Analytic || p.Static }
 
 // DefaultPads covers the pad sizes the paper's case studies use (32, 64,
 // 128, 288) plus neighbours.
@@ -120,10 +164,26 @@ func RecommendPad(build func(pad uint64) *workloads.Program, opts Options) (Resu
 	if tol == 0 {
 		tol = 0.02
 	}
+	cfLimit := opts.ConflictCF
+	if cfLimit == 0 {
+		cfLimit = 0.25
+	}
+	keep := opts.StaticKeep
+	if keep == 0 {
+		keep = 4
+	}
 
+	policy := opts.Tiers
+	if opts.StaticFirst {
+		policy.Static = true
+	}
 	var res Result
-	if opts.StaticFirst && opts.Spec != nil {
-		pads, res.Pruned = staticPrune(pads, opts, geom)
+	var vetted map[uint64]bool
+	var surplus []uint64
+	if policy.active() && opts.Spec != nil {
+		pads, vetted, surplus = tierPrune(pads, policy, opts, geom, keep, &res)
+		obs.Default.Counter("advisor.pruned.analytic").Add(uint64(len(res.PrunedAnalytic)))
+		obs.Default.Counter("advisor.pruned.static").Add(uint64(len(res.PrunedStatic)))
 	}
 
 	// Deduplicate while preserving evaluation order, then fan the
@@ -139,23 +199,103 @@ func RecommendPad(build func(pad uint64) *workloads.Program, opts Options) (Resu
 			uniq = append(uniq, pad)
 		}
 	}
-	cands, err := parsim.Run(len(uniq), parsim.Options{Workers: opts.Workers},
-		func(i int) (Candidate, error) {
-			pad := uniq[i]
-			p := build(pad)
-			if p == nil {
-				return Candidate{}, fmt.Errorf("advisor: build(%d) returned nil", pad)
-			}
-			c := evaluate(p, geom, opts.MaxRefs)
-			c.Pad = pad
-			return c, nil
-		})
+	sim := func(list []uint64) ([]Candidate, error) {
+		obs.Default.Counter("advisor.simulated").Add(uint64(len(list)))
+		return parsim.Run(len(list), parsim.Options{Workers: opts.Workers},
+			func(i int) (Candidate, error) {
+				pad := list[i]
+				p := build(pad)
+				if p == nil {
+					return Candidate{}, fmt.Errorf("advisor: build(%d) returned nil", pad)
+				}
+				c := evaluate(p, geom, opts.MaxRefs)
+				c.Pad = pad
+				return c, nil
+			})
+	}
+	cands, err := sim(uniq)
 	if err != nil {
 		return Result{}, err
 	}
 	res.Candidates = cands
+
+	// Simulation-verified escalation: the static tiers kept only the
+	// smallest clean pads, so check their verdicts against the
+	// measurement. If a vetted pad came back conflicted, or nothing
+	// simulated so far clears the CF threshold, the static picture is
+	// not trustworthy at this layout — promote the next batch of
+	// statically-clean pads from the pruned surplus into the sweep and
+	// repeat until a whole batch confirms the static verdicts. Each
+	// batch must also make geometric progress — cut the best measured
+	// CF by at least a quarter: when larger pads stop reducing the
+	// conflict signature, padding has given all it has (ADI's residual
+	// conflicts live below L1 and its CF plateaus above the threshold)
+	// and further escalation would just re-run the full sweep
+	// piecewise.
+	const escalationGain = 0.75
+	batch := cands
+	minCF := batch[0].CF
+	for _, c := range batch {
+		if c.CF < minCF {
+			minCF = c.CF
+		}
+	}
+	for len(surplus) > 0 {
+		disagree := false
+		for _, c := range batch {
+			if vetted[c.Pad] && c.CF >= cfLimit {
+				disagree = true
+				break
+			}
+		}
+		if !disagree {
+			poolOK := false
+			for _, c := range res.Candidates {
+				if c.CF < cfLimit {
+					poolOK = true
+					break
+				}
+			}
+			if poolOK {
+				break
+			}
+		}
+		n := keep
+		if n > len(surplus) {
+			n = len(surplus)
+		}
+		next := surplus[:n]
+		surplus = surplus[n:]
+		promoted := make(map[uint64]bool, len(next))
+		for _, pad := range next {
+			promoted[pad] = true
+			vetted[pad] = true
+		}
+		kept := res.Pruned[:0]
+		for _, pad := range res.Pruned {
+			if !promoted[pad] {
+				kept = append(kept, pad)
+			}
+		}
+		res.Pruned = kept
+		if batch, err = sim(next); err != nil {
+			return Result{}, err
+		}
+		res.Candidates = append(res.Candidates, batch...)
+		batchMin := batch[0].CF
+		for _, c := range batch {
+			if c.CF < batchMin {
+				batchMin = c.CF
+			}
+		}
+		if batchMin >= escalationGain*minCF {
+			break
+		}
+		minCF = batchMin
+	}
+
 	haveBaseline := false
-	for _, c := range cands {
+	for _, c := range res.Candidates {
 		if c.Pad == 0 {
 			res.Baseline = c
 			haveBaseline = true
@@ -171,10 +311,6 @@ func RecommendPad(build func(pad uint64) *workloads.Program, opts Options) (Resu
 	// pad within tolerance of the minimum cycle cost. When no candidate
 	// clears the threshold — some layouts cannot be fixed by padding at
 	// all — fall back to ranking every candidate on cycles.
-	cfLimit := opts.ConflictCF
-	if cfLimit == 0 {
-		cfLimit = 0.25
-	}
 	pool := res.Candidates[:0:0]
 	for _, c := range res.Candidates {
 		if c.CF < cfLimit {
@@ -206,19 +342,29 @@ func RecommendPad(build func(pad uint64) *workloads.Program, opts Options) (Resu
 	return res, nil
 }
 
-// staticPrune keeps pad 0, pads without a spec, and the StaticKeep
-// smallest pads the static analyzer declares clean; everything else is
-// returned as pruned. If no pad at all comes back clean the static model
-// has nothing useful to say and the full candidate list survives.
-func staticPrune(pads []uint64, opts Options, geom mem.Geometry) (kept, pruned []uint64) {
-	keep := opts.StaticKeep
-	if keep == 0 {
-		keep = 4
-	}
+// tierPrune runs the static cascade over the candidate pads, smallest
+// first: each active tier analyzes the pad's spec, cheapest tier first,
+// and the first conflicted verdict removes the pad (attributed to that
+// tier). Pad 0, specless pads, and the keep smallest pads that every
+// tier declares clean survive to simulation; clean pads beyond the
+// keep limit land in the pruned surplus, from which RecommendPad
+// escalates if simulation contradicts the static verdicts. If no pad
+// at all comes back clean the cascade has nothing useful to say and
+// the full candidate list survives untouched.
+//
+// It returns the pads to simulate, the set of kept pads whose survival
+// rests on a static clean verdict (candidates for simulation-verified
+// escalation), and the statically-clean surplus in ascending order.
+func tierPrune(pads []uint64, policy TierPolicy, opts Options, geom mem.Geometry, keep int, res *Result) (out []uint64, vetted map[uint64]bool, surplus []uint64) {
 	sorted := append([]uint64(nil), pads...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var kept []uint64
+	vetted = map[uint64]bool{}
 	clean := 0
-	for _, pad := range sorted {
+	for i, pad := range sorted {
+		if i > 0 && pad == sorted[i-1] {
+			continue
+		}
 		if pad == 0 {
 			kept = append(kept, pad)
 			continue
@@ -228,22 +374,40 @@ func staticPrune(pads []uint64, opts Options, geom mem.Geometry) (kept, pruned [
 			kept = append(kept, pad)
 			continue
 		}
-		r, err := staticconf.Analyze(sp, geom, staticconf.Options{})
-		if err != nil {
-			kept = append(kept, pad)
-			continue
+		if policy.Analytic {
+			done := obs.Default.StartPhase("advisor/analytic")
+			r, err := analytic.Analyze(sp, geom, analytic.Options{SkipTouches: true})
+			done()
+			if err == nil && r.Conflict {
+				res.PrunedAnalytic = append(res.PrunedAnalytic, pad)
+				res.Pruned = append(res.Pruned, pad)
+				continue
+			}
 		}
-		if !r.Conflict && clean < keep {
+		if policy.Static {
+			done := obs.Default.StartPhase("advisor/static")
+			r, err := staticconf.Analyze(sp, geom, staticconf.Options{})
+			done()
+			if err == nil && r.Conflict {
+				res.PrunedStatic = append(res.PrunedStatic, pad)
+				res.Pruned = append(res.Pruned, pad)
+				continue
+			}
+		}
+		if clean < keep {
 			kept = append(kept, pad)
+			vetted[pad] = true
 			clean++
 			continue
 		}
-		pruned = append(pruned, pad)
+		surplus = append(surplus, pad)
+		res.Pruned = append(res.Pruned, pad)
 	}
 	if clean == 0 {
-		return pads, nil
+		res.Pruned, res.PrunedAnalytic, res.PrunedStatic = nil, nil, nil
+		return pads, nil, nil
 	}
-	return kept, pruned
+	return kept, vetted, surplus
 }
 
 // evalSink is the advisor's batch-aware cost model: the configured L1

@@ -1,0 +1,181 @@
+package analytic_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/mem"
+	"repro/internal/staticconf"
+	"repro/internal/workloads"
+)
+
+// TestCaseStudyVerdictsMatchStaticconf pins the tier-0 model to the
+// tier-1 analyzer on every case-study variant: both consume the same
+// hand-written specs, and their conflict verdicts must agree — the
+// analytic experiment then validates both against exact simulation.
+func TestCaseStudyVerdictsMatchStaticconf(t *testing.T) {
+	g := mem.L1Default()
+	for _, cs := range []*workloads.CaseStudy{
+		workloads.NewNW(512, 16),
+		workloads.NewFFT(128),
+		workloads.NewADI(256, 1),
+		workloads.NewTinyDNN(128, 1024, 1),
+		workloads.NewKripke(64, 32, 32),
+		workloads.NewHimeno(16, 16, 64, 1),
+	} {
+		for _, v := range []struct {
+			name string
+			prog *workloads.Program
+		}{{cs.Name + "/orig", cs.Original}, {cs.Name + "/opt", cs.Optimized}} {
+			if v.prog.Spec == nil {
+				t.Fatalf("%s: no spec", v.name)
+			}
+			sr, err := staticconf.Analyze(v.prog.Spec, g, staticconf.Options{})
+			if err != nil {
+				t.Fatalf("%s: staticconf: %v", v.name, err)
+			}
+			ar, err := analytic.Analyze(v.prog.Spec, g, analytic.Options{})
+			if err != nil {
+				t.Fatalf("%s: analytic: %v", v.name, err)
+			}
+			if ar.Conflict != sr.Conflict {
+				t.Errorf("%s: analytic verdict %v (%s) != staticconf %v (%s)",
+					v.name, ar.Conflict, ar.Reason, sr.Conflict, sr.Reason)
+			}
+			t.Logf("%s: conflict=%v cf=%.2f exact=%v (staticconf cf=%.2f) demand max %d vs %d",
+				v.name, ar.Conflict, ar.PredictedCF, ar.Exact, sr.PredictedCF,
+				ar.MaxDemand, sr.MaxDemand)
+		}
+	}
+}
+
+func TestAnalyzeRejectsInvalidSpec(t *testing.T) {
+	if _, err := analytic.Analyze(nil, mem.L1Default(), analytic.Options{}); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+	sp := &staticconf.Spec{Kernel: "k", Accesses: []staticconf.Access{{Array: "a", Elem: 0}}}
+	if _, err := analytic.Analyze(sp, mem.L1Default(), analytic.Options{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// TestColumnWalkConflict: the canonical §2 pathology — a power-of-two
+// column walk — must come back as an exact conflict with concentrated
+// set pressure, and padding the row stride must clear it.
+func TestColumnWalkConflict(t *testing.T) {
+	g := mem.L1Default()
+	colSpec := func(rowStride int64) *staticconf.Spec {
+		return &staticconf.Spec{Kernel: "col", Accesses: []staticconf.Access{{
+			Array: "m", Loop: "m.c:1", Base: 0x100000, Elem: 8,
+			Dims: []staticconf.Dim{{Stride: 8, Trip: 256}, {Stride: rowStride, Trip: 256}},
+			// Window = the column walk: every iteration of the outer dim
+			// re-walks a full column.
+			Window: 1,
+		}}}
+	}
+	rep, err := analytic.Analyze(colSpec(4096), g, analytic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Conflict {
+		t.Fatalf("4096-byte column walk not flagged: %s", rep.Reason)
+	}
+	if !rep.Exact {
+		t.Fatalf("hierarchical column walk should be exact")
+	}
+	// 256 rows stride 4096 over span 4096: every line lands on one set.
+	if rep.MaxDemand != 256 {
+		t.Fatalf("max demand %d, want 256", rep.MaxDemand)
+	}
+	rep, err = analytic.Analyze(colSpec(4096+64), g, analytic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Conflict {
+		t.Fatalf("padded column walk still flagged: %s", rep.Reason)
+	}
+}
+
+// TestNegativeStrideReflection: a backwards walk touches the same
+// addresses as the forward walk, so all counts must match.
+func TestNegativeStrideReflection(t *testing.T) {
+	g := mem.MustGeometry(16, 8, 2)
+	fwd := &staticconf.Spec{Kernel: "f", Accesses: []staticconf.Access{{
+		Array: "a", Loop: "l", Base: 0x1000, Elem: 4,
+		Dims: []staticconf.Dim{{Stride: 20, Trip: 13}}, Window: 1,
+	}}}
+	bwd := &staticconf.Spec{Kernel: "b", Accesses: []staticconf.Access{{
+		Array: "a", Loop: "l", Base: 0x1000 + 20*12, Elem: 4,
+		Dims: []staticconf.Dim{{Stride: -20, Trip: 13}}, Window: 1,
+	}}}
+	fr, err := analytic.Analyze(fwd, g, analytic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := analytic.Analyze(bwd, g, analytic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range fr.Demand {
+		if fr.Demand[s] != br.Demand[s] || fr.Touches[s] != br.Touches[s] {
+			t.Fatalf("set %d: fwd demand/touches %d/%d, bwd %d/%d",
+				s, fr.Demand[s], fr.Touches[s], br.Demand[s], br.Touches[s])
+		}
+	}
+	if fr.Accesses[0].FootprintLines != br.Accesses[0].FootprintLines {
+		t.Fatalf("footprints differ: %d vs %d",
+			fr.Accesses[0].FootprintLines, br.Accesses[0].FootprintLines)
+	}
+}
+
+// TestReuseProfile: a row walk with a temporal revisit dim produces the
+// three expected bins with consistent counts.
+func TestReuseProfile(t *testing.T) {
+	g := mem.L1Default()
+	sp := &staticconf.Spec{Kernel: "k", Accesses: []staticconf.Access{{
+		Array: "a", Loop: "l", Base: 0x100000, Elem: 8,
+		Dims:   []staticconf.Dim{{Stride: 0, Trip: 10}, {Stride: 8, Trip: 512}},
+		Window: 1,
+	}}}
+	rep, err := analytic.Analyze(sp, g, analytic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := rep.Accesses[0]
+	if ar.FootprintLines != 64 || ar.Revisits != 10 {
+		t.Fatalf("footprint %d revisits %d, want 64/10", ar.FootprintLines, ar.Revisits)
+	}
+	kinds := map[string]analytic.ReuseBin{}
+	for _, b := range ar.Reuse {
+		kinds[b.Kind] = b
+	}
+	// 512 refs per window over 64 lines: 448 spatial reuses per walk.
+	if b := kinds["spatial"]; b.Count != 448*10 || b.Distance != 0 {
+		t.Fatalf("spatial bin %+v", b)
+	}
+	if b := kinds["temporal-revisit"]; b.Count != 64*9 || b.Distance != 64 {
+		t.Fatalf("temporal-revisit bin %+v", b)
+	}
+	if b := kinds["compulsory"]; b.Count != 64 || b.Distance != -1 {
+		t.Fatalf("compulsory bin %+v", b)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	rep, err := analytic.Analyze(workloads.NewADI(256, 1).Original.Spec,
+		mem.L1Default(), analytic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"analytic conflict model", "verdict:", "predicted CF"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}

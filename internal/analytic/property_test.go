@@ -1,0 +1,192 @@
+package analytic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/staticconf"
+)
+
+// The property tests pit the closed-form arithmetic against exhaustive
+// enumeration on geometries small enough to enumerate: when the model
+// claims exactness the counts must match bit for bit; when it degrades
+// to bounds they must over-approximate, never under.
+
+// enumAddrs walks the full iteration space of dims and returns every
+// reference start address.
+func enumAddrs(base uint64, dims []staticconf.Dim) []uint64 {
+	addrs := []uint64{base}
+	for _, d := range dims {
+		next := make([]uint64, 0, len(addrs)*d.Trip)
+		for _, a := range addrs {
+			for t := 0; t < d.Trip; t++ {
+				next = append(next, uint64(int64(a)+int64(t)*d.Stride))
+			}
+		}
+		addrs = next
+	}
+	return addrs
+}
+
+// enumLines returns the set of distinct line numbers touched by
+// references of elem bytes at the given start addresses.
+func enumLines(addrs []uint64, elem uint64, g mem.Geometry) map[uint64]struct{} {
+	lines := make(map[uint64]struct{})
+	for _, a := range addrs {
+		for ln := g.LineNumber(a); ln <= g.LineNumber(a+elem-1); ln++ {
+			lines[ln] = struct{}{}
+		}
+	}
+	return lines
+}
+
+func enumSetDemand(lines map[uint64]struct{}, g mem.Geometry) []int64 {
+	dem := make([]int64, g.Sets)
+	for ln := range lines {
+		dem[int(ln)%g.Sets]++
+	}
+	return dem
+}
+
+func randAccess(r *rand.Rand) staticconf.Access {
+	nd := 1 + r.Intn(3)
+	dims := make([]staticconf.Dim, nd)
+	for i := range dims {
+		dims[i] = staticconf.Dim{
+			Stride: int64(r.Intn(49) - 24), // [-24, 24], zero included
+			Trip:   1 + r.Intn(6),
+		}
+	}
+	return staticconf.Access{
+		Array: "a", Loop: "t.c:1",
+		Base: 0x10000 + uint64(r.Intn(64)),
+		Elem: 1 + uint64(r.Intn(8)),
+		Dims: dims, Window: 1 + r.Intn(nd),
+	}
+}
+
+var smallGeoms = []mem.Geometry{
+	mem.MustGeometry(8, 4, 2),
+	mem.MustGeometry(16, 8, 2),
+}
+
+// TestFootprintLinesVsEnumeration: the whole-nest distinct-line count is
+// exact for hierarchical patterns and an upper bound otherwise.
+func TestFootprintLinesVsEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := randAccess(r)
+		for _, g := range smallGeoms {
+			p, _ := compose(a.Base, a.Elem, a.Dims)
+			got := p.account(g, nil)
+			want := int64(len(enumLines(enumAddrs(a.Base, a.Dims), a.Elem, g)))
+			if p.exact && got != want {
+				t.Fatalf("case %d %+v on %v: exact pattern but lines %d != enumerated %d",
+					i, a, g, got, want)
+			}
+			if got < want {
+				t.Fatalf("case %d %+v on %v: analytic lines %d under-counts enumerated %d",
+					i, a, g, got, want)
+			}
+		}
+	}
+}
+
+// TestWindowDemandVsEnumeration: the per-set window demand of a single
+// access matches the enumerated window exactly for hierarchical
+// patterns and over-approximates otherwise.
+func TestWindowDemandVsEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a := randAccess(r)
+		for _, g := range smallGeoms {
+			sp := &staticconf.Spec{Kernel: "k", Accesses: []staticconf.Access{a}}
+			rep, err := Analyze(sp, g, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wdims := windowDims(a)
+			want := enumSetDemand(enumLines(enumAddrs(a.Base, wdims), a.Elem, g), g)
+			for s := range want {
+				if rep.DemandExact && rep.Demand[s] != want[s] {
+					t.Fatalf("case %d %+v on %v: exact but demand[%d]=%d != enumerated %d",
+						i, a, g, s, rep.Demand[s], want[s])
+				}
+				if rep.Demand[s] < want[s] {
+					t.Fatalf("case %d %+v on %v: demand[%d]=%d under-counts enumerated %d",
+						i, a, g, s, rep.Demand[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+// TestTouchesMatchEnumeration: the footprint histogram is exact for
+// every spec — zero, negative and interleaved strides included.
+func TestTouchesMatchEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a := randAccess(r)
+		for _, g := range smallGeoms {
+			touches := make([]uint64, g.Sets)
+			addTouches(touches, a, g)
+			want := make([]uint64, g.Sets)
+			for _, addr := range enumAddrs(a.Base, a.Dims) {
+				want[g.Set(addr)]++
+			}
+			for s := range want {
+				if touches[s] != want[s] {
+					t.Fatalf("case %d %+v on %v: touches[%d]=%d != enumerated %d",
+						i, a, g, s, touches[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+// TestAgainstStaticconf: on the full L1 geometry, the analytic model
+// reproduces the enumerating analyzer's footprint histogram exactly,
+// and its window demand exactly whenever it claims exactness — for
+// multi-access kernels too (the union fold must not under-count).
+func TestAgainstStaticconf(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	g := mem.L1Default()
+	for i := 0; i < 300; i++ {
+		na := 1 + r.Intn(3)
+		sp := &staticconf.Spec{Kernel: fmt.Sprintf("k%d", i)}
+		for j := 0; j < na; j++ {
+			a := randAccess(r)
+			// Same array with nearby bases, to exercise the union fold.
+			a.Base = 0x100000 + uint64(r.Intn(4))*64
+			a.Elem = 1 + uint64(r.Intn(8))
+			for d := range a.Dims {
+				a.Dims[d].Stride = int64(r.Intn(513) - 256)
+				a.Dims[d].Trip = 1 + r.Intn(32)
+			}
+			sp.Accesses = append(sp.Accesses, a)
+		}
+		want, err := staticconf.Analyze(sp, g, staticconf.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Analyze(sp, g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < g.Sets; s++ {
+			if got.Touches[s] != want.Touches[s] {
+				t.Fatalf("case %d: touches[%d]=%d, staticconf %d", i, s, got.Touches[s], want.Touches[s])
+			}
+			if got.Demand[s] < int64(want.Demand[s]) {
+				t.Fatalf("case %d: demand[%d]=%d under-counts staticconf %d (spec %+v)",
+					i, s, got.Demand[s], want.Demand[s], sp.Accesses)
+			}
+			if got.DemandExact && got.Demand[s] != int64(want.Demand[s]) {
+				t.Fatalf("case %d: exact fold but demand[%d]=%d != staticconf %d (spec %+v)",
+					i, s, got.Demand[s], want.Demand[s], sp.Accesses)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@
 package e2e_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -153,6 +154,28 @@ func TestCCProfObsSnapshot(t *testing.T) {
 	}
 }
 
+// TestCCProfAnalytic checks the closed-form tier-0 report end to end:
+// -analytic must print the arithmetic verdict before the profiled one,
+// flagging the NW original and clearing the optimized build.
+func TestCCProfAnalytic(t *testing.T) {
+	stdout, stderr, exit := run(t, "ccprof", "-analytic", "nw")
+	if exit != 0 {
+		t.Fatalf("ccprof -analytic nw: exit %d, stderr %q", exit, stderr)
+	}
+	for _, w := range []string{"analytic model of nw", "analytic conflict model", "verdict: conflict", "CCProf report for nw"} {
+		if !strings.Contains(stdout, w) {
+			t.Errorf("ccprof -analytic nw output is missing %q:\n%s", w, stdout)
+		}
+	}
+	stdout, stderr, exit = run(t, "ccprof", "-analytic", "-variant", "optimized", "nw")
+	if exit != 0 {
+		t.Fatalf("ccprof -analytic -variant optimized nw: exit %d, stderr %q", exit, stderr)
+	}
+	if !strings.Contains(stdout, "verdict: clean") {
+		t.Errorf("optimized NW should be analytically clean:\n%s", stdout)
+	}
+}
+
 func TestConflintPathological(t *testing.T) {
 	root, err := moduleRoot()
 	if err != nil {
@@ -180,6 +203,89 @@ func TestConflintClean(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "0 findings") {
 		t.Errorf("clean fixture should report 0 findings:\n%s", stdout)
+	}
+}
+
+// TestConflintJSON drives the machine-readable mode: the document must
+// parse, split file/line out of the loop location, and carry the
+// analytic severity pricing on every finding.
+func TestConflintJSON(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "specgen", "testdata", "pathological")
+	stdout, stderr, exit := run(t, "conflint", "-json", dir)
+	if exit != 0 {
+		t.Fatalf("conflint -json: exit %d, stderr %q", exit, stderr)
+	}
+	var doc struct {
+		Kernels  int `json:"kernels"`
+		Findings []struct {
+			Kernel      string  `json:"kernel"`
+			File        string  `json:"file"`
+			Line        int     `json:"line"`
+			Kind        string  `json:"kind"`
+			Severity    string  `json:"severity"`
+			PredictedCF float64 `json:"predicted_cf"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("conflint -json output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if doc.Kernels != 3 || len(doc.Findings) == 0 {
+		t.Fatalf("expected 3 kernels with findings, got %d kernels, %d findings", doc.Kernels, len(doc.Findings))
+	}
+	sawHigh := false
+	for _, f := range doc.Findings {
+		if f.Severity == "" {
+			t.Errorf("finding %s/%s has no severity", f.Kernel, f.Kind)
+		}
+		if f.Severity == "high" {
+			sawHigh = true
+			if f.PredictedCF < 0.7 {
+				t.Errorf("high-severity finding %s/%s has predicted cf %.2f < 0.7", f.Kernel, f.Kind, f.PredictedCF)
+			}
+		}
+		if f.Kind != "static-conflict" && (f.File == "" || f.Line == 0) {
+			t.Errorf("per-access finding %s/%s is missing file/line", f.Kernel, f.Kind)
+		}
+	}
+	if !sawHigh {
+		t.Error("pathological fixture produced no high-severity finding")
+	}
+}
+
+// TestConflintBaseline checks the ratchet: against a baseline of its own
+// findings the pathological fixture passes; against an empty baseline it
+// fails with the findings named on stderr.
+func TestConflintBaseline(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "specgen", "testdata", "pathological")
+	stdout, stderr, exit := run(t, "conflint", "-json", dir)
+	if exit != 0 {
+		t.Fatalf("conflint -json: exit %d, stderr %q", exit, stderr)
+	}
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, []byte(stdout), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stderr, exit := run(t, "conflint", "-json", "-baseline", base, dir); exit != 0 {
+		t.Errorf("conflint against its own baseline: exit %d, stderr %q", exit, stderr)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"kernels":0,"findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, exit = run(t, "conflint", "-json", "-baseline", empty, dir)
+	if exit != 1 {
+		t.Errorf("conflint against an empty baseline: exit %d, want 1", exit)
+	}
+	if !strings.Contains(stderr, "new finding not in baseline") {
+		t.Errorf("stderr does not name the new findings: %q", stderr)
 	}
 }
 

@@ -43,6 +43,7 @@ func registry() map[string]Runner {
 		"table4":     func(w io.Writer, s Scale) error { _, err := Table4(w, s); return err },
 		"baselines":  func(w io.Writer, s Scale) error { _, err := Baselines(w, s); return err },
 		"staticconf": func(w io.Writer, s Scale) error { _, err := StaticConf(w, s); return err },
+		"analytic":   func(w io.Writer, s Scale) error { _, err := Analytic(w, s); return err },
 		"faults":     func(w io.Writer, s Scale) error { _, err := Faults(w, s); return err },
 		"specgen":    func(w io.Writer, s Scale) error { _, err := Specgen(w, s); return err },
 		"l2ext":      func(w io.Writer, s Scale) error { _, err := L2Extension(w, s); return err },

@@ -54,6 +54,7 @@ func sweepCases() []struct {
 		{"table2", func(w *bytes.Buffer) (any, error) { return Table2(w, Quick) }},
 		{"table3", func(w *bytes.Buffer) (any, error) { return Table3(w, Quick) }},
 		{"staticconf", func(w *bytes.Buffer) (any, error) { return StaticConf(w, Quick) }},
+		{"analytic", func(w *bytes.Buffer) (any, error) { return Analytic(w, Quick) }},
 		{"specgen", func(w *bytes.Buffer) (any, error) { return Specgen(w, Quick) }},
 		{"faults", func(w *bytes.Buffer) (any, error) { return Faults(w, Quick) }},
 	}

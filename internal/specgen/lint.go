@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analytic"
 	"repro/internal/mem"
 	"repro/internal/staticconf"
 )
@@ -33,6 +34,13 @@ type Finding struct {
 	Loop   string // innermost loop of the offending access, "" for whole-kernel findings
 	Kind   string
 	Detail string
+	// PredictedCF is the closed-form analytic model's predicted
+	// contribution factor for the whole kernel — how much of the miss
+	// stream the conflict signature would claim if the pattern is real.
+	PredictedCF float64
+	// Severity buckets PredictedCF: high (≥ 0.7), medium (≥ 0.25),
+	// low otherwise.
+	Severity string
 }
 
 func (f Finding) String() string {
@@ -43,7 +51,23 @@ func (f Finding) String() string {
 	if f.Array != "" {
 		loc += " [" + f.Array + "]"
 	}
-	return fmt.Sprintf("%s: %s: %s: %s", f.Ctor, loc, f.Kind, f.Detail)
+	return fmt.Sprintf("%s: %s: %s: %s [severity %s, predicted cf %.0f%%]",
+		f.Ctor, loc, f.Kind, f.Detail, f.Severity, 100*f.PredictedCF)
+}
+
+// SeverityOf buckets a predicted contribution factor into the lint's
+// severity bands: a kernel whose conflict signature would dominate the
+// miss stream is high, one that merely crosses the conflict threshold
+// is medium, anything below is low.
+func SeverityOf(cf float64) string {
+	switch {
+	case cf >= 0.7:
+		return "high"
+	case cf >= 0.25:
+		return "medium"
+	default:
+		return "low"
+	}
 }
 
 // LintedKernel records one kernel the lint managed to extract and check.
@@ -140,11 +164,18 @@ func (p *Package) lintExtract(g mem.Geometry, ctor string) (out []lintedExtracti
 // lintExtraction runs the pattern checks over one extracted kernel.
 func lintExtraction(label string, ex *Extraction, g mem.Geometry) []Finding {
 	var out []Finding
-	add := func(array, loop, kind, detail string) {
-		out = append(out, Finding{Ctor: label, Kernel: ex.Kernel, Array: array, Loop: loop, Kind: kind, Detail: detail})
-	}
 	if ex.Spec == nil {
 		return nil
+	}
+	// Tier-0 severity estimate: the closed-form model prices every
+	// finding of the kernel with its predicted contribution factor.
+	var predCF float64
+	if ar, err := analytic.Analyze(ex.Spec, g, analytic.Options{}); err == nil {
+		predCF = ar.PredictedCF
+	}
+	add := func(array, loop, kind, detail string) {
+		out = append(out, Finding{Ctor: label, Kernel: ex.Kernel, Array: array, Loop: loop,
+			Kind: kind, Detail: detail, PredictedCF: predCF, Severity: SeverityOf(predCF)})
 	}
 
 	// Authoritative check: the static conflict analyzer on the whole spec.

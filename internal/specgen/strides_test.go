@@ -1,0 +1,92 @@
+package specgen
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/staticconf"
+)
+
+// extractStride runs one constructor of the testdata/strides package and
+// returns its extraction, failing the test on any unanalyzable site: these
+// fixtures are purely affine, so a taint here is an extractor regression.
+func extractStride(t *testing.T, ctor string) *Extraction {
+	t.Helper()
+	p, err := Load(filepath.Join("testdata", "strides"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := p.ExtractProgram(mem.L1Default(), ctor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Unanalyzable) != 0 {
+		t.Fatalf("%s: unexpected unanalyzable sites: %+v", ctor, ex.Unanalyzable)
+	}
+	if ex.Spec == nil || len(ex.Spec.Accesses) != 1 {
+		t.Fatalf("%s: want exactly one extracted access, got %+v", ctor, ex.Spec)
+	}
+	if err := ex.Spec.Validate(); err != nil {
+		t.Fatalf("%s: extracted spec invalid: %v", ctor, err)
+	}
+	return ex
+}
+
+// TestExtractReverseWalk pins reflection of a negative-stride loop
+// (i counts down): the synthesized dim must start at the vector's minimum
+// address with a positive stride and the full trip count.
+func TestExtractReverseWalk(t *testing.T) {
+	ex := extractStride(t, "ReverseWalk")
+	a := ex.Spec.Accesses[0]
+	if a.Base != 0x100000 {
+		t.Errorf("base %#x, want the vector start %#x (reflection must move the base to the minimum address)", a.Base, 0x100000)
+	}
+	want := []staticconf.Dim{{Stride: 8, Trip: 256}}
+	if !sameDims(a.Dims, want) {
+		t.Errorf("dims %s, want %s", fmtDims(a.Dims), fmtDims(want))
+	}
+	if a.Elem != 8 {
+		t.Errorf("elem %d, want 8", a.Elem)
+	}
+	if a.Window != 1 {
+		t.Errorf("window %d, want 1", a.Window)
+	}
+}
+
+// TestExtractStridedWalk pins a non-unit-step loop (i += 4): the byte
+// stride must fold the step into the induction coefficient and the trip
+// must be the divided count, exactly — not a unit-stride overapproximation.
+func TestExtractStridedWalk(t *testing.T) {
+	ex := extractStride(t, "StridedWalk")
+	a := ex.Spec.Accesses[0]
+	if a.Base != 0x100000 {
+		t.Errorf("base %#x, want %#x", a.Base, 0x100000)
+	}
+	want := []staticconf.Dim{{Stride: 32, Trip: 64}}
+	if !sameDims(a.Dims, want) {
+		t.Errorf("dims %s, want %s", fmtDims(a.Dims), fmtDims(want))
+	}
+	// The smallest non-zero stride is the access granularity.
+	if a.Elem != 32 {
+		t.Errorf("elem %d, want 32", a.Elem)
+	}
+}
+
+// TestExtractReverseStrided2D combines both shapes: the reflected outer
+// dim and the folded inner stride must coexist, and window inference must
+// cover the whole 8KiB footprint (it fits the half-cache budget).
+func TestExtractReverseStrided2D(t *testing.T) {
+	ex := extractStride(t, "ReverseStrided2D")
+	a := ex.Spec.Accesses[0]
+	if a.Base != 0x100000 {
+		t.Errorf("base %#x, want the matrix start %#x", a.Base, 0x100000)
+	}
+	want := []staticconf.Dim{{Stride: 512, Trip: 16}, {Stride: 32, Trip: 16}}
+	if !sameDims(a.Dims, want) {
+		t.Errorf("dims %s, want %s", fmtDims(a.Dims), fmtDims(want))
+	}
+	if a.Window != 2 {
+		t.Errorf("window %d, want the full-width window 2", a.Window)
+	}
+}

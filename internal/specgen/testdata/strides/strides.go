@@ -1,0 +1,111 @@
+// Package strides seeds the loop shapes the extractor's window inference
+// must normalize: a backwards walk (negative stride, reflected to its
+// minimum address), a non-unit-step walk (stride folded into the
+// induction coefficient), and a 2-D nest combining both. The extraction
+// tests parse and interpret this package; the go tool never compiles it
+// (testdata is ignored).
+package strides
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/objfile"
+	"repro/internal/trace"
+)
+
+// Program mirrors the workload surface the extractor interprets.
+type Program struct {
+	Name      string
+	Binary    *objfile.Binary
+	Arena     *alloc.Arena
+	runThread func(tid, threads int, sink trace.Sink)
+}
+
+// ReverseWalk reads a vector back to front: i counts down, so the address
+// coefficient of the induction variable is negative and synthesis must
+// reflect the dimension — base moved to the minimum address, stride
+// positive — without changing trip or footprint.
+func ReverseWalk() *Program {
+	b := objfile.NewBuilder("reversewalk")
+	b.Func("kernel")
+	b.Loop("reversewalk.c", 2)
+	ld := b.Load("reversewalk.c", 3)
+	b.EndLoop()
+	bin := b.Finish()
+
+	ar := alloc.NewArena()
+	v := alloc.NewVector(ar, "v", 256, 8)
+	return &Program{
+		Name:   "reversewalk",
+		Binary: bin,
+		Arena:  ar,
+		runThread: func(tid, threads int, sink trace.Sink) {
+			if tid != 0 {
+				return
+			}
+			for i := 255; i >= 0; i-- {
+				sink.Ref(trace.Ref{IP: ld, Addr: v.At(i)})
+			}
+		},
+	}
+}
+
+// StridedWalk reads every fourth element of a vector: the loop steps by 4,
+// so the extracted dimension must carry the combined byte stride (step
+// times element size) and the divided trip count, exactly.
+func StridedWalk() *Program {
+	b := objfile.NewBuilder("stridedwalk")
+	b.Func("kernel")
+	b.Loop("stridedwalk.c", 2)
+	ld := b.Load("stridedwalk.c", 3)
+	b.EndLoop()
+	bin := b.Finish()
+
+	ar := alloc.NewArena()
+	v := alloc.NewVector(ar, "v", 256, 8)
+	return &Program{
+		Name:   "stridedwalk",
+		Binary: bin,
+		Arena:  ar,
+		runThread: func(tid, threads int, sink trace.Sink) {
+			if tid != 0 {
+				return
+			}
+			for i := 0; i < 256; i += 4 {
+				sink.Ref(trace.Ref{IP: ld, Addr: v.At(i)})
+			}
+		},
+	}
+}
+
+// ReverseStrided2D combines both shapes in one nest: rows walked
+// backwards, columns in steps of 4. The reflected outer dim and the
+// folded inner stride must both survive, and the whole (small) footprint
+// must be covered by a full-width reuse window.
+func ReverseStrided2D() *Program {
+	b := objfile.NewBuilder("reversestrided2d")
+	b.Func("kernel")
+	b.Loop("reversestrided2d.c", 2)
+	b.Loop("reversestrided2d.c", 3)
+	ld := b.Load("reversestrided2d.c", 4)
+	b.EndLoop()
+	b.EndLoop()
+	bin := b.Finish()
+
+	ar := alloc.NewArena()
+	m := alloc.NewMatrix2D(ar, "m", 16, 64, 8, 0)
+	return &Program{
+		Name:   "reversestrided2d",
+		Binary: bin,
+		Arena:  ar,
+		runThread: func(tid, threads int, sink trace.Sink) {
+			if tid != 0 {
+				return
+			}
+			for i := 15; i >= 0; i-- {
+				for j := 0; j < 64; j += 4 {
+					sink.Ref(trace.Ref{IP: ld, Addr: m.At(i, j)})
+				}
+			}
+		},
+	}
+}

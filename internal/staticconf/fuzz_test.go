@@ -1,0 +1,61 @@
+package staticconf
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// FuzzSpecValidate feeds arbitrary two-dim access shapes through the
+// validator: it must never panic, every rejection must be a typed
+// *ValidationError wrapping one of the sentinels, and every accepted
+// spec must survive analysis. The corpus is seeded with the degenerate
+// shapes of TestValidateDegenerateSpecs — zero strides, negative
+// extents, empty and oversized windows.
+func FuzzSpecValidate(f *testing.F) {
+	f.Add(uint64(8), int64(1024), int64(8), 16, 128, 1) // the canonical valid access
+	f.Add(uint64(8), int64(0), int64(8), 4, 16, 1)      // zero stride (revisit dim)
+	f.Add(uint64(8), int64(0), int64(0), 4, 4, 2)       // all strides zero
+	f.Add(uint64(4), int64(-64), int64(-8), 8, 8, 1)    // negative strides (backwards walk)
+	f.Add(uint64(8), int64(-64), int64(8), -16, 8, 1)   // negative extent
+	f.Add(uint64(8), int64(64), int64(8), 0, 8, 1)      // zero trip
+	f.Add(uint64(0), int64(64), int64(8), 4, 4, 1)      // zero elem
+	f.Add(uint64(8), int64(64), int64(8), 4, 4, 0)      // empty window
+	f.Add(uint64(8), int64(64), int64(8), 4, 4, -1)     // negative window
+	f.Add(uint64(8), int64(64), int64(8), 4, 4, 5)      // window beyond dims
+	f.Fuzz(func(t *testing.T, elem uint64, s1, s2 int64, t1, t2, window int) {
+		sp := &Spec{Kernel: "fuzz", Accesses: []Access{{
+			Array: "a", Loop: "f.c:1", Base: 0x100000, Elem: elem,
+			Dims:   []Dim{{Stride: s1, Trip: t1}, {Stride: s2, Trip: t2}},
+			Window: window,
+		}}}
+		err := sp.Validate()
+		if err != nil {
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("rejection is not a *ValidationError: %T %v", err, err)
+			}
+			if ve.Err == nil {
+				t.Fatalf("ValidationError without a sentinel: %+v", ve)
+			}
+			return
+		}
+		// The analyzer's cost scales with trips and element size; bound
+		// the accepted shapes so the fuzzer probes the arithmetic, not
+		// the clock.
+		if elem > 64 || t1 > 64 || t2 > 64 || abs64(s1) > 1<<20 || abs64(s2) > 1<<20 {
+			return
+		}
+		if _, err := Analyze(sp, mem.MustGeometry(16, 8, 2), Options{}); err != nil {
+			t.Fatalf("validated spec failed analysis: %v", err)
+		}
+	})
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

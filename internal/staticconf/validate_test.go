@@ -95,6 +95,58 @@ func TestAnalyzeRejectsInvalidSpec(t *testing.T) {
 	}
 }
 
+// TestValidateDegenerateSpecs is the table of edge-of-domain specs:
+// degenerate shapes that are legal (zero strides are revisit dims,
+// negative strides are backwards walks, window 0 normalizes to the
+// innermost dim) must validate and analyze, while structurally broken
+// ones must come back as the right sentinel.
+func TestValidateDegenerateSpecs(t *testing.T) {
+	g := mem.L1Default()
+	cases := []struct {
+		name string
+		mut  func(*Access) // applied to validAccess()
+		want error         // nil = must validate AND analyze
+	}{
+		{"zero stride", func(a *Access) { a.Dims[0].Stride = 0 }, nil},
+		{"all strides zero", func(a *Access) { a.Dims[0].Stride, a.Dims[1].Stride = 0, 0 }, nil},
+		{"negative stride", func(a *Access) { a.Dims[1].Stride = -8 }, nil},
+		{"negative outer stride", func(a *Access) { a.Dims[0].Stride = -1024 }, nil},
+		{"single-trip dims", func(a *Access) { a.Dims[0].Trip, a.Dims[1].Trip = 1, 1 }, nil},
+		{"empty window", func(a *Access) { a.Window = 0 }, nil},
+		{"negative window", func(a *Access) { a.Window = -1 }, nil},
+		{"zero trip", func(a *Access) { a.Dims[0].Trip = 0 }, ErrNonPositiveTrip},
+		{"negative trip", func(a *Access) { a.Dims[1].Trip = -4 }, ErrNonPositiveTrip},
+		{"negative extent", func(a *Access) { a.Dims[0] = Dim{Stride: -64, Trip: -16} }, ErrNonPositiveTrip},
+		{"zero elem", func(a *Access) { a.Elem = 0 }, ErrZeroElem},
+		{"window beyond dims", func(a *Access) { a.Window = 3 }, ErrWindowTooWide},
+		{"window on dimensionless", func(a *Access) { a.Dims, a.Window = nil, 2 }, ErrWindowTooWide},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := validAccess()
+			tc.mut(&a)
+			sp := &Spec{Kernel: "k", Accesses: []Access{a}}
+			err := sp.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("degenerate-but-legal spec rejected: %v", err)
+				}
+				if _, err := Analyze(sp, g, Options{}); err != nil {
+					t.Fatalf("validated spec failed analysis: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("want %v, got %v", tc.want, err)
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("want *ValidationError, got %T", err)
+			}
+		})
+	}
+}
+
 // TestAllDeclaredSpecsValidate is covered from the workloads side (every
 // spec-carrying Program validates); here we pin that Approx is pure
 // metadata and does not change the verdict.

@@ -93,7 +93,11 @@ func adiProgram(n, steps int, pad uint64) *Program {
 	// coefficients (|a/b| < 1 keeps the recurrences stable). Check
 	// returns the field sum after the run; it must be identical for the
 	// padded layout (padding moves addresses, never values).
-	uVals, aVals, bVals := adiValues(n)
+	vals := lazy(func() *adiVals {
+		v := &adiVals{}
+		v.u, v.a, v.b = adiValues(n)
+		return v
+	})
 
 	p := &Program{
 		Name:   name,
@@ -105,6 +109,11 @@ func adiProgram(n, steps int, pad uint64) *Program {
 				return // sequential case study
 			}
 			compute := threads == 1
+			var uVals, aVals, bVals []float64
+			if compute {
+				v := vals()
+				uVals, aVals, bVals = v.u, v.a, v.b
+			}
 			for t := 0; t < steps; t++ {
 				// Row sweep.
 				for i1 := 0; i1 < n; i1++ {
@@ -137,13 +146,15 @@ func adiProgram(n, steps int, pad uint64) *Program {
 	}
 	p.Check = func() float64 {
 		var sum float64
-		for _, v := range uVals {
+		for _, v := range vals().u {
 			sum += v
 		}
 		return sum
 	}
 	return p
 }
+
+type adiVals struct{ u, a, b []float64 }
 
 // adiValues generates the deterministic solver inputs.
 func adiValues(n int) (u, a, b []float64) {

@@ -96,19 +96,25 @@ func fftProgram(n int, pad uint64) *Program {
 	)
 
 	// Element storage and the seeded input signal.
-	vals := make([]complex128, n*n)
-	rng := stats.NewRand(909)
-	var inputEnergy float64
-	for i := range vals {
-		vals[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
-		re, im := real(vals[i]), imag(vals[i])
-		inputEnergy += re*re + im*im
-	}
+	signal := lazy(func() *fftVals {
+		v := &fftVals{vals: make([]complex128, n*n)}
+		rng := stats.NewRand(909)
+		for i := range v.vals {
+			v.vals[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+			re, im := real(v.vals[i]), imag(v.vals[i])
+			v.inputEnergy += re*re + im*im
+		}
+		return v
+	})
 
 	// traced performs one in-place forward FFT over the n elements
 	// addressed by at/idx, emitting the memory traffic of each butterfly.
 	traced := func(sink trace.Sink, compute bool, at func(int) uint64, idx func(int) int,
 		ldA, ldB, stA, stB uint64) {
+		var vals []complex128
+		if compute {
+			vals = signal().vals
+		}
 		for half := 1; half < n; half <<= 1 {
 			step := half << 1
 			for base := 0; base < n; base += step {
@@ -157,14 +163,20 @@ func fftProgram(n int, pad uint64) *Program {
 		// Parseval: after the 2D forward transform the energy is
 		// n^2 x input energy; Check returns the measured/expected ratio
 		// (1.0 for a correct transform).
+		s := signal()
 		var e float64
-		for _, v := range vals {
+		for _, v := range s.vals {
 			re, im := real(v), imag(v)
 			e += re*re + im*im
 		}
-		return e / (float64(n) * float64(n) * inputEnergy)
+		return e / (float64(n) * float64(n) * s.inputEnergy)
 	}
 	return p
+}
+
+type fftVals struct {
+	vals        []complex128
+	inputEnergy float64
 }
 
 // twiddle returns the DIT butterfly factor exp(-i*pi*off/half).

@@ -137,7 +137,7 @@ func himenoProgram(ni, nj, nk, iters int, rowPad, planePad uint64) *Program {
 	// p = (i/(ni-1))^2, coefficients a = {1,1,1,1/6}, b = c = 0, bnd = 1.
 	// The kernel computes gosa (the squared-residual sum) per iteration,
 	// which must decay as the solver converges.
-	vals := newHimenoValues(ni, nj, nk)
+	lazyVals := lazy(func() *himenoValues { return newHimenoValues(ni, nj, nk) })
 	var gosa float64
 
 	p2 := &Program{
@@ -147,6 +147,10 @@ func himenoProgram(ni, nj, nk, iters int, rowPad, planePad uint64) *Program {
 		Spec:   sp,
 		runThread: func(tid, threads int, sink trace.Sink) {
 			compute := threads == 1
+			var vals *himenoValues
+			if compute {
+				vals = lazyVals()
+			}
 			lo, hi := span(ni-2, tid, threads)
 			lo, hi = lo+1, hi+1
 			ld := func(ip uint64, addr uint64) { sink.Ref(trace.Ref{IP: ip, Addr: addr}) }

@@ -109,7 +109,11 @@ func kripkeProgram(zones, directions, groups int, interchanged bool, rowPad uint
 	// Real particle-edit values: the kernel computes the total particle
 	// count, part = sum w[d] * psi[g][d][z] * vol[z]. Loop interchange
 	// must not change the result (up to FP reassociation).
-	psiVals, volVals, wVals := kripkeValues(zones, directions, groups)
+	vals := lazy(func() *kripkeVals {
+		v := &kripkeVals{}
+		v.psi, v.vol, v.w = kripkeValues(zones, directions, groups)
+		return v
+	})
 	var part float64
 
 	p := &Program{
@@ -119,7 +123,10 @@ func kripkeProgram(zones, directions, groups int, interchanged bool, rowPad uint
 		Spec:   sp,
 		runThread: func(tid, threads int, sink trace.Sink) {
 			compute := threads == 1
+			var psiVals, volVals, wVals []float64
 			if compute {
+				v := vals()
+				psiVals, volVals, wVals = v.psi, v.vol, v.w
 				part = 0
 			}
 			at := func(g, d, z int) float64 {
@@ -159,6 +166,8 @@ func kripkeProgram(zones, directions, groups int, interchanged bool, rowPad uint
 	p.Check = func() float64 { return part }
 	return p
 }
+
+type kripkeVals struct{ psi, vol, w []float64 }
 
 // kripkeValues generates the deterministic inputs shared by both loop
 // orders and the reference sum.

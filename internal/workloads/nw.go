@@ -145,14 +145,24 @@ func nwProgram(n, tileSize int, padInput, padRef uint64) *Program {
 	// matrix with the same seeded similarity scores the naive reference
 	// (NWReference) uses. Element (i, j) of the address layout above
 	// corresponds to inputVals[i*rows+j].
-	refVals := nwSimilarity(n)
-	inputVals := make([]int32, rows*rows)
-	inLocalVals := make([]int32, (tileSize+1)*(tileSize+1))
-	refLocalVals := make([]int32, tileSize*tileSize)
+	vals := lazy(func() *nwVals {
+		return &nwVals{
+			ref:      nwSimilarity(n),
+			input:    make([]int32, rows*rows),
+			inLocal:  make([]int32, (tileSize+1)*(tileSize+1)),
+			refLocal: make([]int32, tileSize*tileSize),
+		}
+	})
 
 	// processTile emits the traffic of one (bx, by) tile in one phase and
 	// (when compute is set) performs the tile's DP for real.
 	processTile := func(sink trace.Sink, compute bool, bx, by int, inIP, refIP, compIP, wbIP, linIP, lrefIP, lstIP uint64) {
+		var refVals, inputVals, inLocalVals, refLocalVals []int32
+		if compute {
+			v := vals()
+			refVals, inputVals = v.ref, v.input
+			inLocalVals, refLocalVals = v.inLocal, v.refLocal
+		}
 		r0, c0 := bx*tileSize, by*tileSize
 		lw := tileSize + 1
 		// Copy input tile (with halo row/column).
@@ -210,6 +220,10 @@ func nwProgram(n, tileSize int, padInput, padRef uint64) *Program {
 		Spec:   sp,
 		runThread: func(tid, threads int, sink trace.Sink) {
 			compute := threads == 1
+			var inputVals []int32
+			if compute {
+				inputVals = vals().input
+			}
 			// Initialization scan, partitioned by rows: zero the matrix
 			// and lay down the gap penalties on the boundary.
 			lo, hi := span(rows, tid, threads)
@@ -256,9 +270,11 @@ func nwProgram(n, tileSize int, padInput, padRef uint64) *Program {
 			}
 		},
 	}
-	p.Check = func() float64 { return float64(inputVals[n*rows+n]) }
+	p.Check = func() float64 { return float64(vals().input[n*rows+n]) }
 	return p
 }
+
+type nwVals struct{ ref, input, inLocal, refLocal []int32 }
 
 // nwPenalty is the linear gap penalty (Rodinia's default is 10).
 const nwPenalty = 10

@@ -81,16 +81,21 @@ func tinyDNNProgram(in, out, batches int, pad uint64) *Program {
 
 	// Real layer values: weights and activations as float32, like
 	// tiny-dnn's vec_t.
-	wVals := make([]float32, in*out)
-	inVals := make([]float32, in)
-	aVals := make([]float32, out)
-	rng := stats.NewRand(777)
-	for i := range wVals {
-		wVals[i] = float32(rng.Float64()) - 0.5
-	}
-	for i := range inVals {
-		inVals[i] = float32(rng.Float64())
-	}
+	vals := lazy(func() *dnnVals {
+		v := &dnnVals{
+			w:  make([]float32, in*out),
+			in: make([]float32, in),
+			a:  make([]float32, out),
+		}
+		rng := stats.NewRand(777)
+		for i := range v.w {
+			v.w[i] = float32(rng.Float64()) - 0.5
+		}
+		for i := range v.in {
+			v.in[i] = float32(rng.Float64())
+		}
+		return v
+	})
 
 	p := &Program{
 		Name:   name,
@@ -99,6 +104,11 @@ func tinyDNNProgram(in, out, batches int, pad uint64) *Program {
 		Spec:   sp,
 		runThread: func(tid, threads int, sink trace.Sink) {
 			compute := threads == 1
+			var wVals, inVals, aVals []float32
+			if compute {
+				v := vals()
+				wVals, inVals, aVals = v.w, v.in, v.a
+			}
 			lo, hi := span(out, tid, threads)
 			for batch := 0; batch < batches; batch++ {
 				for i := lo; i < hi; i++ {
@@ -120,13 +130,15 @@ func tinyDNNProgram(in, out, batches int, pad uint64) *Program {
 	}
 	p.Check = func() float64 {
 		var sum float64
-		for _, v := range aVals {
+		for _, v := range vals().a {
 			sum += float64(v)
 		}
 		return sum
 	}
 	return p
 }
+
+type dnnVals struct{ w, in, a []float32 }
 
 // TinyDNNReference computes the layer's activations naively for
 // verification: a[i] = sum_c W[c][i] * in[c] with the same seeded values.

@@ -18,6 +18,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/alloc"
 	"repro/internal/objfile"
@@ -25,6 +26,23 @@ import (
 	"repro/internal/staticconf"
 	"repro/internal/trace"
 )
+
+// lazy defers a workload's value-array generation to first use. Program
+// construction is on the advisor's per-candidate path — SpecBuilder and
+// the static tiers build a program only to read its Spec — and the value
+// storage (an O(problem size) deterministic random fill) is by far the
+// most expensive part of construction, so the kernels allocate it only
+// when they actually run (or when Check sums the results).
+func lazy[T any](gen func() T) func() T {
+	var (
+		once sync.Once
+		v    T
+	)
+	return func() T {
+		once.Do(func() { v = gen() })
+		return v
+	}
+}
 
 // Program is one runnable kernel variant.
 type Program struct {
