@@ -1,0 +1,49 @@
+package ccprof
+
+// Allocation regression guards for the replay fast path. The sweep
+// optimizations (pooled graphs, samplers, trackers, and attribution state;
+// SoA block delivery; fused sample+classify) only stay effective if per-task
+// allocation stays bounded — a single accidental per-reference or per-sample
+// allocation shows up here as an order-of-magnitude jump long before it is
+// visible in wall-clock noise.
+
+import (
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/workloads"
+)
+
+// TestRecommendPadAllocBudget pins the steady-state allocation cost of one
+// advisor sweep task: a full RecommendPad over quick-scale ADI with four
+// candidate pads, simulation-only, on one worker. The budget is ~2x the
+// measured steady state (so pool warm-up jitter and small legitimate changes
+// pass) but far below the cost of re-building per-task state from scratch,
+// which is the regression this test exists to catch.
+func TestRecommendPadAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is not meaningful under -short race/cover runs")
+	}
+	cs := workloads.NewADI(256, 1)
+	opts := advisor.Options{
+		Pads:    []uint64{0, 32, 64, 128},
+		Workers: 1, // serial: AllocsPerRun pins GOMAXPROCS to 1 anyway
+	}
+	// Warm the pools: the first sweep constructs every pooled object.
+	if _, err := advisor.RecommendPad(cs.PadBuilder, opts); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := advisor.RecommendPad(cs.PadBuilder, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Steady state measured at ~185 allocs per sweep (4 candidate kernels
+	// built + profiled + analyzed, reports retained). The pre-optimization
+	// code sat at well over 1000 for this task.
+	const budget = 500
+	if allocs > budget {
+		t.Fatalf("RecommendPad sweep allocated %.0f objects/run, budget %d", allocs, budget)
+	}
+	t.Logf("RecommendPad sweep: %.0f allocs/run (budget %d)", allocs, budget)
+}

@@ -406,6 +406,51 @@ func BenchmarkBatchedStream(b *testing.B) {
 	b.ReportMetric(float64(len(refs)), "refs/op")
 }
 
+// BenchmarkBlockStream measures the same stream delivered as
+// struct-of-arrays RefBlocks into the sampler's fused sample+classify pass —
+// the replay fast path: contiguous 8-byte address reads, one fused
+// cache+sampler loop per block, zero allocations per reference. Against
+// BenchmarkBatchedStream this is the headline devirtualization+SoA speedup
+// (BENCH_5.json vs BENCH_2.json).
+func BenchmarkBlockStream(b *testing.B) {
+	refs := workloads.NewADI(256, 1).Original.Record().Refs
+	var blk trace.RefBlock
+	blk.AppendRefs(refs)
+	s := pmu.NewSampler(pmu.Config{Geom: mem.L1Default(), Period: pmu.Uniform(pmu.DefaultPeriod), Seed: 1})
+	s.Grow(len(refs))
+	b.SetBytes(int64(len(refs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < blk.Len(); lo += trace.DefaultBlock {
+			hi := lo + trace.DefaultBlock
+			if hi > blk.Len() {
+				hi = blk.Len()
+			}
+			sub := trace.RefBlock{IP: blk.IP[lo:hi], Addr: blk.Addr[lo:hi], Flags: blk.Flags[lo:hi]}
+			s.RefBlock(&sub)
+		}
+		s.Samples = s.Samples[:0]
+	}
+	b.ReportMetric(float64(len(refs)), "refs/op")
+}
+
+// BenchmarkFusedSweep is the Rodinia Figure 7 sweep on the fused block path
+// with pooled per-shard state, pinned to one worker — the allocs/op and
+// wall-clock successor to BenchmarkSweepSerial (BENCH_2's 8196 allocs/op
+// baseline).
+func BenchmarkFusedSweep(b *testing.B) {
+	SetParallelism(1)
+	defer SetParallelism(0)
+	scale := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(nil, scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchSweep runs the full Rodinia Figure 7 sweep on the sharded executor
 // at the given worker count. Serial vs parallel wall-clock is the headline
 // comparison of BENCH_2.json; the outputs are byte-identical (see

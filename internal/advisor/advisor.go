@@ -410,11 +410,12 @@ func tierPrune(pads []uint64, policy TierPolicy, opts Options, geom mem.Geometry
 	return kept, vetted, surplus
 }
 
-// evalSink is the advisor's batch-aware cost model: the configured L1
+// evalSink is the advisor's block-aware cost model: the configured L1
 // backed by a 256KiB L2 (the private L2 of the evaluated machines), costed
-// with the Broadwell latency table. Implementing trace.BatchSink lets the
-// workload deliver references in slices, so the two-level simulation runs
-// without a dynamic dispatch per access.
+// with the Broadwell latency table. Implementing trace.BlockSink lets the
+// workload deliver references in struct-of-arrays blocks: the L1 classifies
+// a whole block in one fused pass (cache.BlockMisses) and only the misses —
+// a few percent of references — pay the RCD bookkeeping and the L2 probe.
 type evalSink struct {
 	geom    mem.Geometry
 	l1, l2  *cache.Cache
@@ -423,6 +424,8 @@ type evalSink struct {
 	maxRefs uint64
 	n       uint64
 	cycles  uint64
+
+	miss []int32 // scratch miss-index buffer for the block path
 }
 
 func (e *evalSink) one(r trace.Ref) {
@@ -452,20 +455,66 @@ func (e *evalSink) RefBatch(refs []trace.Ref) {
 	}
 }
 
-func evaluate(p *workloads.Program, geom mem.Geometry, maxRefs uint64) Candidate {
-	e := &evalSink{
-		geom:    geom,
-		l1:      cache.New(geom, cache.LRU, nil),
-		l2:      cache.New(mem.MustGeometry(geom.LineSize, 512, 8), cache.LRU, nil),
-		lat:     mem.Broadwell().Lat,
-		tr:      rcd.New(geom.Sets),
-		maxRefs: maxRefs,
+// RefBlock implements trace.BlockSink — the fused fast path. Outcomes are
+// identical to per-reference delivery: same simulation order, same
+// statistics, same cycle cost.
+func (e *evalSink) RefBlock(b *trace.RefBlock) {
+	addrs := b.Addr
+	if e.maxRefs > 0 {
+		if left := e.maxRefs - e.n; uint64(len(addrs)) > left {
+			addrs = addrs[:left]
+		}
 	}
+	e.n += uint64(len(addrs))
+	e.miss = e.l1.BlockMisses(addrs, e.miss[:0])
+	e.cycles += uint64(len(addrs)-len(e.miss)) * uint64(e.lat.L1Hit)
+	offBits, setMask := e.geom.OffsetBits(), e.geom.SetMask()
+	for _, i := range e.miss {
+		addr := addrs[i]
+		e.tr.Observe(int((addr >> offBits) & setMask))
+		if e.l2.AccessHit(addr) {
+			e.cycles += uint64(e.lat.L2Hit)
+		} else {
+			e.cycles += uint64(e.lat.Memory)
+		}
+	}
+}
+
+// evalPool recycles evaluator state (two cache models and an RCD tracker)
+// across sweep candidates. Every part is rewound before use — cache.Reset
+// and rcd.Reset leave state indistinguishable from freshly constructed — so
+// which candidate reuses which evaluator cannot influence results.
+var evalPool parsim.Pool[*evalSink]
+
+// l2Geom is the fixed 256KiB 8-way private L2 of the cost model.
+func l2Geom(geom mem.Geometry) mem.Geometry {
+	return mem.MustGeometry(geom.LineSize, 512, 8)
+}
+
+func evaluate(p *workloads.Program, geom mem.Geometry, maxRefs uint64) Candidate {
+	e := evalPool.Get()
+	if e == nil || e.geom != geom {
+		e = &evalSink{
+			geom: geom,
+			l1:   cache.New(geom, cache.LRU, nil),
+			l2:   cache.New(l2Geom(geom), cache.LRU, nil),
+			tr:   rcd.New(geom.Sets),
+		}
+	} else {
+		e.l1.Reset()
+		e.l2.Reset()
+		e.tr.Reset(geom.Sets)
+	}
+	e.lat = mem.Broadwell().Lat
+	e.maxRefs = maxRefs
+	e.n, e.cycles = 0, 0
 	p.Run(e)
-	return Candidate{
+	c := Candidate{
 		Misses:   e.l1.Misses,
 		L2Misses: e.l2.Misses,
 		Cycles:   e.cycles,
 		CF:       e.tr.ContributionFactor(rcd.DefaultThreshold),
 	}
+	evalPool.Put(e)
+	return c
 }

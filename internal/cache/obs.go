@@ -1,6 +1,34 @@
 package cache
 
-import "repro/internal/obs"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// obsNames caches the derived metric names of one prefix. ObserveInto runs
+// once per simulation but thousands of times per sweep, and the prefix set
+// is tiny ("pmu.l1", "sim.l1", ...), so interning the concatenations keeps
+// the merge path allocation-free.
+type obsNames struct {
+	hits, misses, setMisses, setHits string
+}
+
+var obsNameCache sync.Map // prefix -> *obsNames
+
+func namesFor(prefix string) *obsNames {
+	if v, ok := obsNameCache.Load(prefix); ok {
+		return v.(*obsNames)
+	}
+	n := &obsNames{
+		hits:      prefix + ".hits",
+		misses:    prefix + ".misses",
+		setMisses: prefix + ".set_misses",
+		setHits:   prefix + ".set_hits",
+	}
+	v, _ := obsNameCache.LoadOrStore(prefix, n)
+	return v.(*obsNames)
+}
 
 // ObserveInto merges this cache's shard-local statistics into reg under
 // the given metric prefix (e.g. "pmu.l1" or "sim.llc"): total hits and
@@ -12,10 +40,11 @@ import "repro/internal/obs"
 // counters stay plain uint64 fields — so instrumenting a simulation costs
 // a handful of atomic adds per run, not per reference.
 func (c *Cache) ObserveInto(reg *obs.Registry, prefix string) {
-	reg.Counter(prefix + ".hits").Add(c.Hits)
-	reg.Counter(prefix + ".misses").Add(c.Misses)
-	hm := reg.Histogram(prefix + ".set_misses")
-	hh := reg.Histogram(prefix + ".set_hits")
+	names := namesFor(prefix)
+	reg.Counter(names.hits).Add(c.Hits)
+	reg.Counter(names.misses).Add(c.Misses)
+	hm := reg.Histogram(names.setMisses)
+	hh := reg.Histogram(names.setHits)
 	for set := range c.SetMisses {
 		hm.Observe(c.SetMisses[set])
 		hh.Observe(c.SetHits[set])

@@ -2,14 +2,16 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/alloc"
 	"repro/internal/cfg"
 	"repro/internal/classify"
 	"repro/internal/objfile"
 	"repro/internal/obs"
+	"repro/internal/parsim"
 	"repro/internal/rcd"
+	"repro/internal/stats"
 )
 
 // LoopReport is the per-loop output of code-centric attribution: the
@@ -119,8 +121,8 @@ func (o AnalyzeOptions) withDefaults() AnalyzeOptions {
 		o.Threshold = rcd.DefaultThreshold
 	}
 	if o.Model == nil {
-		m := DefaultModel()
-		o.Model = &m
+		DefaultModel() // ensure the builtin model is trained
+		o.Model = &defaultModel
 	}
 	if o.MinLoopSamples == 0 {
 		o.MinLoopSamples = 8
@@ -135,6 +137,114 @@ type loopState struct {
 	trackers []*rcd.CPTracker // one per thread
 }
 
+// attrState is Analyze's reusable attribution state: the by-context maps
+// that every call fills and drains. Pooling them keeps their buckets warm
+// across a sweep, where consecutive analyses see the same loop and data
+// structure names.
+type attrState struct {
+	byLoop      map[*cfg.Loop]*loopState
+	dataSamples map[string]int
+	dataShort   map[string]int
+	funcSamples map[string]int
+	funcShort   map[string]int
+
+	// states is a free list of loopState values: every state ever built by
+	// this attrState, reused in order. Entries are individually allocated so
+	// pointers held by byLoop stay stable as the list grows.
+	states []*loopState
+	used   int
+
+	// globals is the reused per-thread whole-program tracker slice.
+	globals []*rcd.CPTracker
+}
+
+func newAttrState() *attrState {
+	return &attrState{
+		byLoop:      make(map[*cfg.Loop]*loopState),
+		dataSamples: make(map[string]int),
+		dataShort:   make(map[string]int),
+		funcSamples: make(map[string]int),
+		funcShort:   make(map[string]int),
+	}
+}
+
+func (at *attrState) clear() {
+	clear(at.byLoop)
+	clear(at.dataSamples)
+	clear(at.dataShort)
+	clear(at.funcSamples)
+	clear(at.funcShort)
+	for _, st := range at.states[:at.used] {
+		st.loop = nil
+		for i := range st.trackers {
+			st.trackers[i] = nil // trackers went back to cpPool
+		}
+	}
+	at.used = 0
+	for i := range at.globals {
+		at.globals[i] = nil
+	}
+}
+
+// takeLoopState hands out the next free loopState, ready for a new loop
+// context: samples zeroed and the tracker slice sized to threads (entries
+// nil; the caller fills them from the tracker pool).
+func (at *attrState) takeLoopState(loop *cfg.Loop, threads int) *loopState {
+	var st *loopState
+	if at.used < len(at.states) {
+		st = at.states[at.used]
+	} else {
+		st = &loopState{}
+		at.states = append(at.states, st)
+	}
+	at.used++
+	st.loop = loop
+	st.samples = 0
+	if cap(st.trackers) < threads {
+		st.trackers = make([]*rcd.CPTracker, threads)
+	} else {
+		st.trackers = st.trackers[:threads]
+	}
+	return st
+}
+
+var attrPool parsim.Pool[*attrState]
+
+// cmpString is a branch-light strings.Compare for the report sorts.
+func cmpString(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// cpPool recycles conflict-period trackers across Analyze calls. Analyze
+// builds one tracker per thread per sampled loop context; a sweep analyzing
+// hundreds of profiles against the same cache geometry reuses the same
+// trackers (and their dense histogram banks) instead of reallocating them.
+// Every tracker taken from the pool is Reset before use.
+var cpPool parsim.Pool[*rcd.CPTracker]
+
+// graphPool recycles CFG graphs (and their loop-analysis scratch) across
+// Analyze calls. Rebuild reconstructs a pooled graph for each new binary in
+// place; the Forest and Blocks of a pooled graph are only used within one
+// Analyze call, and the reports copy out everything they keep (names are
+// strings), so returning the graph to the pool invalidates nothing.
+var graphPool parsim.Pool[*cfg.Graph]
+
+func getCP(sets int) *rcd.CPTracker {
+	cp := cpPool.Get()
+	if cp == nil {
+		return rcd.NewCP(sets)
+	}
+	cp.Reset(sets)
+	return cp
+}
+
 // Analyze is CCProf's offline phase: it recovers the loop forest from the
 // binary, attributes every sample to its innermost loop (code-centric) and
 // covering allocation (data-centric), approximates RCD distributions from
@@ -146,26 +256,43 @@ func Analyze(prof *Profile, bin *objfile.Binary, arena *alloc.Arena, opts Analyz
 	if bin == nil {
 		return nil, ErrNilBinary
 	}
-	defer obs.Default.StartPhase("analyze")()
+	sp := obs.Default.Span("analyze")
+	defer sp.End()
 	obs.Default.Counter("analyze.runs").Inc()
 	o := opts.withDefaults()
 
-	graph, err := cfg.Build(bin)
-	if err != nil {
+	graph := graphPool.Get()
+	if graph == nil {
+		graph = new(cfg.Graph)
+	}
+	defer graphPool.Put(graph)
+	if err := graph.Rebuild(bin); err != nil {
 		return nil, fmt.Errorf("core: recovering CFG: %w", err)
 	}
 	forest := graph.FindLoops()
 
 	threads := len(prof.Samples)
-	byLoop := make(map[*cfg.Loop]*loopState)
-	globals := make([]*rcd.CPTracker, threads)
-	for t := range globals {
-		globals[t] = rcd.NewCP(prof.Geom.Sets)
+	at := attrPool.Get()
+	if at == nil {
+		at = newAttrState()
 	}
-	dataSamples := make(map[string]int)
-	dataShort := make(map[string]int)
-	funcSamples := make(map[string]int)
-	funcShort := make(map[string]int)
+	defer func() {
+		at.clear()
+		attrPool.Put(at)
+	}()
+	byLoop := at.byLoop
+	if cap(at.globals) < threads {
+		at.globals = make([]*rcd.CPTracker, threads)
+	}
+	globals := at.globals[:threads]
+	at.globals = globals
+	for t := range globals {
+		globals[t] = getCP(prof.Geom.Sets)
+	}
+	dataSamples := at.dataSamples
+	dataShort := at.dataShort
+	funcSamples := at.funcSamples
+	funcShort := at.funcShort
 
 	an := &Analysis{
 		Workload:  prof.Workload,
@@ -214,9 +341,9 @@ func Analyze(prof *Profile, bin *objfile.Binary, arena *alloc.Arena, opts Analyz
 			}
 			st := byLoop[loop]
 			if st == nil {
-				st = &loopState{loop: loop, trackers: make([]*rcd.CPTracker, threads)}
+				st = at.takeLoopState(loop, threads)
 				for i := range st.trackers {
-					st.trackers[i] = rcd.NewCP(prof.Geom.Sets)
+					st.trackers[i] = getCP(prof.Geom.Sets)
 				}
 				byLoop[loop] = st
 			}
@@ -232,6 +359,7 @@ func Analyze(prof *Profile, bin *objfile.Binary, arena *alloc.Arena, opts Analyz
 	an.Conflict = an.TotalSamples >= o.MinLoopSamples && o.Model.Predict(an.CF)
 
 	// Per-loop reports.
+	an.Loops = make([]LoopReport, 0, len(byLoop))
 	for _, st := range byLoop {
 		pooled := poolTrackers(st.trackers, o.Threshold)
 		rep := LoopReport{
@@ -251,15 +379,28 @@ func Analyze(prof *Profile, bin *objfile.Binary, arena *alloc.Arena, opts Analyz
 			an.ActiveInnerLoops++
 		}
 	}
-	sort.Slice(an.Loops, func(i, j int) bool {
-		if an.Loops[i].Samples != an.Loops[j].Samples {
-			return an.Loops[i].Samples > an.Loops[j].Samples
+	slices.SortFunc(an.Loops, func(a, b LoopReport) int {
+		if a.Samples != b.Samples {
+			return b.Samples - a.Samples
 		}
-		return an.Loops[i].Loop < an.Loops[j].Loop
+		return cmpString(a.Loop, b.Loop)
 	})
+
+	// The reports retain nothing the trackers own (loop names are strings,
+	// CDFs and victim lists are freshly built), so every tracker goes back
+	// to the pool for the next Analyze.
+	for _, cp := range globals {
+		cpPool.Put(cp)
+	}
+	for _, st := range byLoop {
+		for _, cp := range st.trackers {
+			cpPool.Put(cp)
+		}
+	}
 
 	// Function reports. The per-function cf reuses the global short-RCD
 	// attribution of each sample (the sampled sequence is one stream).
+	an.Funcs = make([]FuncReport, 0, len(funcSamples))
 	for name, n := range funcSamples {
 		an.Funcs = append(an.Funcs, FuncReport{
 			Func:         name,
@@ -268,14 +409,15 @@ func Analyze(prof *Profile, bin *objfile.Binary, arena *alloc.Arena, opts Analyz
 			CF:           float64(funcShort[name]) / float64(n),
 		})
 	}
-	sort.Slice(an.Funcs, func(i, j int) bool {
-		if an.Funcs[i].Samples != an.Funcs[j].Samples {
-			return an.Funcs[i].Samples > an.Funcs[j].Samples
+	slices.SortFunc(an.Funcs, func(a, b FuncReport) int {
+		if a.Samples != b.Samples {
+			return b.Samples - a.Samples
 		}
-		return an.Funcs[i].Func < an.Funcs[j].Func
+		return cmpString(a.Func, b.Func)
 	})
 
 	// Data reports.
+	an.Data = make([]DataReport, 0, len(dataSamples))
 	for name, n := range dataSamples {
 		an.Data = append(an.Data, DataReport{
 			Name:         name,
@@ -284,11 +426,11 @@ func Analyze(prof *Profile, bin *objfile.Binary, arena *alloc.Arena, opts Analyz
 			Contribution: float64(n) / float64(an.TotalSamples),
 		})
 	}
-	sort.Slice(an.Data, func(i, j int) bool {
-		if an.Data[i].Samples != an.Data[j].Samples {
-			return an.Data[i].Samples > an.Data[j].Samples
+	slices.SortFunc(an.Data, func(a, b DataReport) int {
+		if a.Samples != b.Samples {
+			return b.Samples - a.Samples
 		}
-		return an.Data[i].Name < an.Data[j].Name
+		return cmpString(a.Name, b.Name)
 	})
 	return an, nil
 }
@@ -302,17 +444,41 @@ type pooledMetrics struct {
 	cdf      []CDFPoint
 }
 
+// analyzeScratch is poolTrackers' reusable aggregation state: a per-set
+// miss accumulator and a dense RCD histogram. One scratch is borrowed per
+// context and returned immediately, so an Analyze call cycles a single
+// scratch through all its contexts.
+type analyzeScratch struct {
+	missBySet []uint64
+	hist      stats.IntHist
+	vals      []int // reused value buffer for CDF rendering
+}
+
+var scratchPool parsim.Pool[*analyzeScratch]
+
 func poolTrackers(cps []*rcd.CPTracker, threshold int) pooledMetrics {
 	var pm pooledMetrics
 	if len(cps) == 0 {
 		return pm
 	}
 	sets := cps[0].RCD().Sets()
+	sc := scratchPool.Get()
+	if sc == nil {
+		sc = &analyzeScratch{}
+	}
+	defer scratchPool.Put(sc)
+	if cap(sc.missBySet) < sets {
+		sc.missBySet = make([]uint64, sets)
+	}
+	missBySet := sc.missBySet[:sets]
+	for s := range missBySet {
+		missBySet[s] = 0
+	}
+	sc.hist.Reset()
+
 	var total, short uint64
 	var cpSum float64
 	var cpRuns uint64
-	missBySet := make([]uint64, sets)
-	var hist histAccum
 	for _, cp := range cps {
 		cp.Flush()
 		tr := cp.RCD()
@@ -321,7 +487,7 @@ func poolTrackers(cps []*rcd.CPTracker, threshold int) pooledMetrics {
 		for s := 0; s < sets; s++ {
 			missBySet[s] += tr.SetMisses(s)
 		}
-		hist.merge(tr)
+		sc.hist.Merge(tr.Hist())
 		if p := cp.Periods(); p.Total() > 0 {
 			cpSum += cp.MeanPeriod() * float64(p.Total())
 			cpRuns += p.Total()
@@ -331,52 +497,52 @@ func poolTrackers(cps []*rcd.CPTracker, threshold int) pooledMetrics {
 		return pm
 	}
 	pm.cf = float64(short) / float64(total)
-	for s, m := range missBySet {
+	// Count victims first, then fill an exactly-sized list: the list is
+	// retained by the report, so sizing it up front replaces the growth
+	// reallocations of repeated append.
+	cut := 2 * float64(total) / float64(sets)
+	nvict := 0
+	for _, m := range missBySet {
 		if m > 0 {
 			pm.setsUsed++
 		}
-		if float64(m) > 2*float64(total)/float64(sets) {
-			pm.victims = append(pm.victims, s)
+		if float64(m) > cut {
+			nvict++
+		}
+	}
+	if nvict > 0 {
+		pm.victims = make([]int, 0, nvict)
+		for s, m := range missBySet {
+			if float64(m) > cut {
+				pm.victims = append(pm.victims, s)
+			}
 		}
 	}
 	if cpRuns > 0 {
 		pm.meanCP = cpSum / float64(cpRuns)
 	}
-	pm.cdf = hist.cdf()
+	sc.vals = cdfValues(&sc.hist, sc.vals[:0])
+	pm.cdf = cdfPoints(&sc.hist, sc.vals)
 	return pm
 }
 
-// histAccum merges per-thread pooled RCD histograms into one CDF.
-type histAccum struct {
-	counts map[int]uint64
-	total  uint64
+// cdfValues fills a reused buffer with a histogram's sorted values.
+func cdfValues(h *stats.IntHist, dst []int) []int {
+	return h.AppendValues(dst)
 }
 
-func (h *histAccum) merge(tr *rcd.Tracker) {
-	if h.counts == nil {
-		h.counts = make(map[int]uint64)
-	}
-	src := tr.Hist()
-	for _, v := range src.Values() {
-		h.counts[v] += src.Count(v)
-		h.total += src.Count(v)
-	}
-}
-
-func (h *histAccum) cdf() []CDFPoint {
-	if h.total == 0 {
+// cdfPoints renders a histogram's CDF directly into report points. vs must
+// be the histogram's sorted values (see cdfValues).
+func cdfPoints(h *stats.IntHist, vs []int) []CDFPoint {
+	total := h.Total()
+	if total == 0 {
 		return nil
 	}
-	vals := make([]int, 0, len(h.counts))
-	for v := range h.counts {
-		vals = append(vals, v)
-	}
-	sort.Ints(vals)
-	out := make([]CDFPoint, 0, len(vals))
+	out := make([]CDFPoint, 0, len(vs))
 	var run uint64
-	for _, v := range vals {
-		run += h.counts[v]
-		out = append(out, CDFPoint{RCD: v, Cum: float64(run) / float64(h.total)})
+	for _, v := range vs {
+		run += h.Count(v)
+		out = append(out, CDFPoint{RCD: v, Cum: float64(run) / float64(total)})
 	}
 	return out
 }

@@ -101,6 +101,12 @@ type ProfileOptions struct {
 	Faults *faultinj.Plan
 }
 
+// samplerPool recycles per-thread PMU samplers across profiling runs. A
+// sampler taken from the pool is always Reconfigured before use, which
+// rewinds it to freshly-constructed state (see pmu.Reconfigure), so reuse
+// cannot leak state between runs.
+var samplerPool parsim.Pool[*pmu.Sampler]
+
 func (o ProfileOptions) withDefaults() ProfileOptions {
 	if o.Geom.Sets == 0 {
 		o.Geom = mem.L1Default()
@@ -131,7 +137,8 @@ func ProfileProgram(p *workloads.Program, opts ProfileOptions) (*Profile, error)
 	if err := (pmu.Config{Geom: o.Geom, Period: o.Period, Burst: o.Burst}).Validate(); err != nil {
 		return nil, fmt.Errorf("core: profile config: %w", err)
 	}
-	defer obs.Default.StartPhase("profile")()
+	sp := obs.Default.Span("profile")
+	defer sp.End()
 	obs.Default.Counter("profile.runs").Inc()
 	burst := o.Burst
 	if burst < 1 {
@@ -158,10 +165,14 @@ func ProfileProgram(p *workloads.Program, opts ProfileOptions) (*Profile, error)
 	// so the result is deterministic regardless of scheduling. Per-thread
 	// seeds follow the engine's derivation scheme (root ⊕ stable task
 	// key), decorrelating thread sampling phases even for adjacent roots.
+	//
+	// Samplers come from a process-wide pool: Reconfigure rewinds a reused
+	// sampler to the exact state NewSampler would construct, so sweeps that
+	// profile hundreds of candidates stop reallocating the L1 model and
+	// sample buffer per run. The per-thread Samples slice is copied out at
+	// exact size before the sampler returns to the pool.
 	start := time.Now()
-	samplers := make([]*pmu.Sampler, o.Threads)
-	var wg sync.WaitGroup
-	for tid := 0; tid < o.Threads; tid++ {
+	getSampler := func(tid int) *pmu.Sampler {
 		seed := o.Seed
 		if tid > 0 {
 			seed = parsim.DeriveSeed(o.Seed, fmt.Sprintf("thread/%d", tid))
@@ -173,27 +184,51 @@ func ProfileProgram(p *workloads.Program, opts ProfileOptions) (*Profile, error)
 			// bookkeeping).
 			cfg.Faults = o.Faults.Injector(fmt.Sprintf("faults/%s/thread/%d", p.Name, tid))
 		}
-		s := pmu.NewSampler(cfg)
-		samplers[tid] = s
-		wg.Add(1)
-		go func(tid int) {
-			defer wg.Done()
-			p.RunThread(tid, o.Threads, s)
-		}(tid)
+		s := samplerPool.Get()
+		if s == nil {
+			s = pmu.NewSampler(cfg)
+		} else {
+			s.Reconfigure(cfg)
+		}
+		return s
 	}
-	wg.Wait()
+	var samplers []*pmu.Sampler
+	if o.Threads == 1 {
+		// The single-thread profile — every sweep task — runs inline: no
+		// goroutine, no WaitGroup, and the sampler slice stays on the stack.
+		s := getSampler(0)
+		one := [1]*pmu.Sampler{s}
+		samplers = one[:]
+		p.RunThread(0, 1, s)
+	} else {
+		samplers = make([]*pmu.Sampler, o.Threads)
+		var wg sync.WaitGroup
+		for tid := 0; tid < o.Threads; tid++ {
+			s := getSampler(tid)
+			samplers[tid] = s
+			wg.Add(1)
+			go func(tid int, s *pmu.Sampler) {
+				defer wg.Done()
+				p.RunThread(tid, o.Threads, s)
+			}(tid, s)
+		}
+		wg.Wait()
+	}
 	// Merge-on-reassembly: each thread's sampler counted in shard-local
 	// fields; fold the totals into the process registry here, once per
 	// run, in thread order. Sums commute, so the merged counters are
 	// identical at any scheduling.
 	for tid, s := range samplers {
-		prof.Samples[tid] = s.Samples
+		if len(s.Samples) > 0 {
+			prof.Samples[tid] = append([]pmu.Sample(nil), s.Samples...)
+		}
 		prof.Events += s.Events
 		prof.Refs += s.Refs
 		prof.FaultDropped += s.FaultDropped
 		prof.FaultTruncated += s.FaultTruncated
 		prof.FaultCorrupted += s.FaultCorrupted
 		s.ObserveInto(obs.Default)
+		samplerPool.Put(s)
 	}
 	if !o.NoTime {
 		prof.ProfiledNs = time.Since(start).Nanoseconds()

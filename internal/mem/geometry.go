@@ -78,6 +78,18 @@ func (g Geometry) Tag(addr uint64) uint64 {
 // Offset returns the byte offset of addr within its cache line.
 func (g Geometry) Offset(addr uint64) int { return int(addr & g.offsetMask) }
 
+// OffsetBits returns log2(LineSize): the shift that turns a byte address
+// into a line number. Fused simulation loops hoist it (and SetBits/SetMask)
+// into locals so the per-reference address math is two shifts and a mask
+// with no method calls.
+func (g Geometry) OffsetBits() uint { return g.offsetBits }
+
+// SetBits returns log2(Sets): the shift between the line number and the tag.
+func (g Geometry) SetBits() uint { return g.setBits }
+
+// SetMask returns Sets-1, the mask selecting the set index of a line number.
+func (g Geometry) SetMask() uint64 { return g.setMask }
+
 // Compose rebuilds an address from a (tag, set, offset) triple. It is the
 // inverse of the Tag/Set/Offset decomposition and exists chiefly so tests can
 // assert the round-trip property.

@@ -29,7 +29,9 @@ type loopFrame struct {
 // NewBuilder returns a Builder for a binary with the given name.
 func NewBuilder(name string) *Builder {
 	return &Builder{
-		bin:  Binary{Name: name, lines: make(map[uint64]SourceLoc)},
+		// Start with room for a typical kernel (a few dozen instructions)
+		// so emit rarely regrows mid-build.
+		bin:  Binary{Name: name, Instrs: make([]Instruction, 0, 64), lines: make(map[uint64]SourceLoc, 64)},
 		next: BaseText,
 		fn:   -1,
 	}

@@ -20,6 +20,7 @@ package objfile
 import (
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Kind classifies a synthetic instruction.
@@ -91,7 +92,7 @@ func (s SourceLoc) String() string {
 	if s.IsZero() {
 		return "??:0"
 	}
-	return fmt.Sprintf("%s:%d", s.File, s.Line)
+	return s.File + ":" + strconv.Itoa(s.Line)
 }
 
 // Func is a named contiguous range of instructions.

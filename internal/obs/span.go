@@ -56,6 +56,29 @@ func (r *Registry) StartPhase(name string) func() {
 	return func() { p.observe(time.Since(start)) }
 }
 
+// Span is an open span on a phase, closed by End. Unlike StartPhase's
+// closure, a Span is a plain value: deferring End on a stack-held Span
+// costs no allocation, which matters on per-task paths inside sweeps.
+type Span struct {
+	p     *Phase
+	start time.Time
+}
+
+// Span opens an allocation-free span on the named phase:
+//
+//	sp := reg.Span("profile")
+//	defer sp.End()
+func (r *Registry) Span(name string) Span {
+	return Span{p: r.phase(name), start: time.Now()}
+}
+
+// End closes the span. End on a zero Span is a no-op.
+func (s Span) End() {
+	if s.p != nil {
+		s.p.observe(time.Since(s.start))
+	}
+}
+
 // ObservePhase folds an externally measured duration into the named phase,
 // for callers that already hold a timing (e.g. the specgen experiment's
 // extraction timer).

@@ -1,0 +1,54 @@
+// Per-shard simulation state pooling. Sweep tasks (the advisor's pad
+// search, the Figure 7 suite) each build the same heavy shard state — a
+// cache simulator, a PMU sampler, RCD trackers — use it for one task, and
+// drop it. Pool recycles that state across tasks.
+//
+// Determinism contract: pooling must be invisible to results. Anything a
+// task takes from a Pool must be rewound to a state indistinguishable from
+// freshly constructed (cache.Reset, pmu.Reconfigure, rcd.Reset) before use,
+// and nothing about a pooled object's identity or history may influence
+// what the task computes. Which worker reuses which object is scheduling-
+// dependent; the rewind is what keeps output byte-identical at any -j.
+
+package parsim
+
+import "sync"
+
+// Pool is a typed free list of per-shard state, safe for concurrent use by
+// the workers of a Run. The zero value is ready if T's zero value is (or if
+// callers handle it); set New to control how an empty pool materializes
+// values.
+type Pool[T any] struct {
+	// New, when non-nil, constructs a value for Get when the pool is empty.
+	New func() T
+
+	p sync.Pool
+	o sync.Once
+}
+
+func (p *Pool[T]) init() {
+	p.o.Do(func() {
+		if p.New != nil {
+			ctor := p.New
+			p.p.New = func() any { return ctor() }
+		}
+	})
+}
+
+// Get returns a pooled value, a value from New, or T's zero value, in that
+// order of preference. The caller owns the value until Put.
+func (p *Pool[T]) Get() T {
+	p.init()
+	if v := p.p.Get(); v != nil {
+		return v.(T)
+	}
+	var zero T
+	return zero
+}
+
+// Put returns a value to the pool for reuse. The caller must not touch it
+// afterwards; the next Get may hand it to another worker.
+func (p *Pool[T]) Put(v T) {
+	p.init()
+	p.p.Put(v)
+}

@@ -306,7 +306,13 @@ func attemptLoop[T any](i int, opts Options, fn func(ctx context.Context, i int)
 // and the watchdog stops waiting at the deadline; the abandoned goroutine's
 // eventual result lands in a buffered channel and is discarded.
 func runAttempt[T any](i, attempt int, deadline time.Duration, fn func(ctx context.Context, i int) (T, error)) (T, error) {
-	ctx := context.WithValue(context.Background(), attemptKey{}, attempt)
+	// Attempt 0 is the overwhelmingly common case (retries only happen
+	// under fault injection); Attempt() reads 0 from a bare context, so
+	// the first attempt skips the context allocation.
+	ctx := context.Background()
+	if attempt != 0 {
+		ctx = context.WithValue(ctx, attemptKey{}, attempt)
+	}
 	if deadline <= 0 {
 		return protect(ctx, i, fn)
 	}

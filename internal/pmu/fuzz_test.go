@@ -1,0 +1,89 @@
+package pmu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// FuzzBlockEquivalence drives the three delivery paths of the sampler —
+// per-reference Ref, batched RefBatch, and SoA RefBlock — with the same
+// randomized reference stream under a randomized configuration, and
+// requires bit-identical outcomes: the same event/ref counters and the
+// same sample subsequence. This is the load-bearing invariant of the fused
+// block path (the period-jump walk over cache.BlockMisses must replay the
+// exact scalar state machine), so it gets adversarial inputs, not just the
+// strided patterns of the unit tests.
+func FuzzBlockEquivalence(f *testing.F) {
+	f.Add(int64(1), uint(5000), uint(171), uint(1), uint(192), uint(6))
+	f.Add(int64(7), uint(20000), uint(13), uint(4), uint(64), uint(0))
+	f.Add(int64(42), uint(999), uint(1), uint(8), uint(4096), uint(10))
+	f.Add(int64(-3), uint(64), uint(7), uint(2), uint(8), uint(31))
+	f.Fuzz(func(t *testing.T, seed int64, n, period, burst, stride, chunkBits uint) {
+		n = n%50000 + 1
+		period = period%500 + 1
+		burst = burst % 9
+		chunk := 1 << (chunkBits % 12) // 1 .. 2048, crossing block sizes
+		rng := rand.New(rand.NewSource(seed))
+
+		// A mix of strided and random traffic: strides drive conflict
+		// misses, random addresses drive irregular miss spacing, and the
+		// occasional tight reuse keeps the hit path honest.
+		refs := make([]trace.Ref, n)
+		base := rng.Uint64() % (1 << 30)
+		st := uint64(stride%8192 + 1)
+		for i := range refs {
+			var addr uint64
+			switch rng.Intn(3) {
+			case 0:
+				addr = base + uint64(i)*st
+			case 1:
+				addr = rng.Uint64() % (1 << 24)
+			default:
+				addr = base + uint64(rng.Intn(256))
+			}
+			refs[i] = trace.Ref{IP: uint64(rng.Intn(64)) * 4, Addr: addr, Write: rng.Intn(2) == 1}
+		}
+
+		cfg := Config{Geom: mem.L1Default(), Period: Uniform(uint64(period)), Seed: seed, Burst: int(burst)}
+
+		perRef := NewSampler(cfg)
+		for _, r := range refs {
+			perRef.Ref(r)
+		}
+
+		batched := NewSampler(cfg)
+		for lo := 0; lo < len(refs); lo += chunk {
+			hi := min(lo+chunk, len(refs))
+			batched.RefBatch(refs[lo:hi])
+		}
+
+		blocked := NewSampler(cfg)
+		var blk trace.RefBlock
+		for lo := 0; lo < len(refs); lo += chunk {
+			hi := min(lo+chunk, len(refs))
+			blk.Reset()
+			for _, r := range refs[lo:hi] {
+				blk.Append(r)
+			}
+			blocked.RefBlock(&blk)
+		}
+
+		for _, alt := range []struct {
+			name string
+			s    *Sampler
+		}{{"batch", batched}, {"block", blocked}} {
+			if perRef.Events != alt.s.Events || perRef.Refs != alt.s.Refs {
+				t.Fatalf("%s path diverges: events %d vs %d, refs %d vs %d",
+					alt.name, perRef.Events, alt.s.Events, perRef.Refs, alt.s.Refs)
+			}
+			if !reflect.DeepEqual(perRef.Samples, alt.s.Samples) {
+				t.Fatalf("%s path: sample sequences diverge (%d vs %d samples)",
+					alt.name, len(perRef.Samples), len(alt.s.Samples))
+			}
+		}
+	})
+}

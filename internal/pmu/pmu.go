@@ -236,6 +236,8 @@ type Sampler struct {
 
 	count  uint64 // samples taken, whether buffered or handled
 	raised uint64 // samples raised, before fault injection
+
+	miss []int32 // scratch miss-index buffer for the fused block path
 }
 
 // NewSampler returns a Sampler with the given configuration.

@@ -26,6 +26,21 @@ func NewCP(sets int) *CPTracker {
 	}
 }
 
+// Reset rewinds the tracker to the state NewCP(sets) would construct,
+// reusing storage when the set count is unchanged (see Tracker.Reset).
+func (c *CPTracker) Reset(sets int) {
+	if c.inner == nil || sets != c.inner.sets {
+		*c = *NewCP(sets)
+		return
+	}
+	c.inner.Reset(sets)
+	for i := range c.curRCD {
+		c.curRCD[i] = 0
+		c.curLen[i] = 0
+	}
+	c.periods.Reset()
+}
+
 // Observe records a miss on set, forwarding to the underlying RCD tracker.
 // It returns the RCD of the miss (or NoPrior).
 func (c *CPTracker) Observe(set int) int {
@@ -71,13 +86,5 @@ func (c *CPTracker) RCD() *Tracker { return c.inner }
 // MeanPeriod returns the mean conflict-period length of completed runs, or
 // 0 when none completed.
 func (c *CPTracker) MeanPeriod() float64 {
-	h := &c.periods
-	if h.Total() == 0 {
-		return 0
-	}
-	var sum uint64
-	for _, v := range h.Values() {
-		sum += uint64(v) * h.Count(v)
-	}
-	return float64(sum) / float64(h.Total())
+	return c.periods.Mean()
 }

@@ -50,9 +50,30 @@ func New(sets int) *Tracker {
 	return &Tracker{
 		sets:    sets,
 		lastPos: make([]uint64, sets),
-		perSet:  make([]stats.IntHist, sets),
+		perSet:  stats.NewDense(sets),
 		misses:  make([]uint64, sets),
 	}
+}
+
+// Reset rewinds the tracker to the state New(sets) would construct. When
+// the set count is unchanged the per-set storage (including the dense
+// histogram bank) is cleared in place, so a pooled tracker is reused with
+// zero allocations.
+func (t *Tracker) Reset(sets int) {
+	if sets <= 0 {
+		panic(fmt.Sprintf("rcd: tracker with %d sets", sets))
+	}
+	if sets != t.sets || t.lastPos == nil {
+		*t = *New(sets)
+		return
+	}
+	for i := range t.lastPos {
+		t.lastPos[i] = 0
+		t.misses[i] = 0
+		t.perSet[i].Reset()
+	}
+	t.pooled.Reset()
+	t.pos = 0
 }
 
 // Sets returns the number of cache sets tracked.
@@ -114,14 +135,7 @@ func (t *Tracker) SetHist(set int) *stats.IntHist { return &t.perSet[set] }
 // ShortCount returns the number of observed misses whose RCD is defined and
 // at most threshold (the N_RCD of Equation 1).
 func (t *Tracker) ShortCount(threshold int) uint64 {
-	var short uint64
-	for _, v := range t.pooled.Values() {
-		if v > threshold {
-			break
-		}
-		short += t.pooled.Count(v)
-	}
-	return short
+	return t.pooled.CountLE(threshold)
 }
 
 // ContributionFactor returns the pooled contribution factor of Equation 1:
@@ -140,15 +154,7 @@ func (t *Tracker) SetContributionFactor(set, threshold int) float64 {
 	if t.pos == 0 {
 		return 0
 	}
-	var short uint64
-	h := &t.perSet[set]
-	for _, v := range h.Values() {
-		if v > threshold {
-			break
-		}
-		short += h.Count(v)
-	}
-	return float64(short) / float64(t.pos)
+	return float64(t.perSet[set].CountLE(threshold)) / float64(t.pos)
 }
 
 // CDF returns the cumulative distribution of pooled RCDs — the curves of

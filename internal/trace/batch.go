@@ -1,5 +1,7 @@
 package trace
 
+import "encoding/binary"
+
 // Batched reference streaming. Delivering every reference through a
 // Sink.Ref interface call costs one dynamic dispatch per access; the hot
 // consumers (the PMU sampler, the cache simulators) each do trivial work
@@ -131,13 +133,22 @@ func (t teeSink) RefBatch(refs []Ref) {
 	}
 }
 
-// RefBatch implements BatchSink.
+// RefBatch implements BatchSink: kept references are compacted into a
+// scratch buffer and forwarded via Emit, so batch consumers downstream of a
+// Filter stay on the batch path instead of degenerating to per-ref calls.
 func (f Filter) RefBatch(refs []Ref) {
+	sp := refScratch.Get().(*[]Ref)
+	kept := (*sp)[:0]
 	for i := range refs {
 		if f.Keep(refs[i]) {
-			f.Next.Ref(refs[i])
+			kept = append(kept, refs[i])
 		}
 	}
+	if len(kept) > 0 {
+		Emit(f.Next, kept)
+	}
+	*sp = kept[:0]
+	refScratch.Put(sp)
 }
 
 // RefBatch implements BatchSink.
@@ -152,10 +163,29 @@ func (l *Limit) RefBatch(refs []Ref) {
 	Emit(l.Next, refs)
 }
 
-// RefBatch implements BatchSink.
+// RefBatch implements BatchSink: the whole batch is encoded into one scratch
+// buffer and written with a single bufio call, producing bytes identical to
+// per-reference encoding.
 func (w *Writer) RefBatch(refs []Ref) {
+	if w.err != nil || len(refs) == 0 {
+		return
+	}
+	buf := w.encodeStart(len(refs))
+	if buf == nil {
+		return
+	}
 	for i := range refs {
-		w.Ref(refs[i])
+		o := i * refBytes
+		binary.LittleEndian.PutUint64(buf[o:o+8], refs[i].IP)
+		binary.LittleEndian.PutUint64(buf[o+8:o+16], refs[i].Addr)
+		if refs[i].Write {
+			buf[o+16] = 1
+		} else {
+			buf[o+16] = 0
+		}
+	}
+	if _, err := w.bw.Write(buf); err != nil {
+		w.err = err
 	}
 }
 

@@ -10,3 +10,12 @@ func (b *Batcher) ObserveInto(reg *obs.Registry) {
 	reg.Counter("trace.refs_streamed").Add(b.refs)
 	reg.Counter("trace.batches_flushed").Add(b.flushes)
 }
+
+// ObserveInto merges the pipeline's shard-local stream statistics into reg,
+// under the same counters as the batch path: a block flush is a batch flush
+// as far as observability is concerned, so totals stay comparable across
+// delivery paths.
+func (p *Pipeline[S]) ObserveInto(reg *obs.Registry) {
+	reg.Counter("trace.refs_streamed").Add(p.refs)
+	reg.Counter("trace.batches_flushed").Add(p.flushes)
+}

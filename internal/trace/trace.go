@@ -147,12 +147,34 @@ var traceMagic = [4]byte{'C', 'C', 'T', '1'}
 
 var errBadMagic = errors.New("trace: bad magic; not a CCProf trace")
 
+// refBytes is the serialized size of one reference: 8 bytes IP, 8 bytes
+// address, 1 write flag, all little-endian.
+const refBytes = 17
+
 // Writer serializes a reference stream to an io.Writer in a compact binary
 // format (magic, then 17 bytes per reference). Close flushes buffered data.
 type Writer struct {
-	bw    *bufio.Writer
-	err   error
-	wrote bool
+	bw      *bufio.Writer
+	err     error
+	wrote   bool
+	scratch []byte // batch/block encoding buffer, reused across calls
+}
+
+// encodeStart emits the header if needed and returns a scratch buffer sized
+// for n references. It returns nil if the header write failed (sticky error).
+func (w *Writer) encodeStart(n int) []byte {
+	if !w.wrote {
+		if _, err := w.bw.Write(traceMagic[:]); err != nil {
+			w.err = err
+			return nil
+		}
+		w.wrote = true
+	}
+	need := n * refBytes
+	if cap(w.scratch) < need {
+		w.scratch = make([]byte, need)
+	}
+	return w.scratch[:need]
 }
 
 // NewWriter returns a Writer emitting to w.

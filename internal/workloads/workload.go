@@ -23,6 +23,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/objfile"
 	"repro/internal/obs"
+	"repro/internal/parsim"
 	"repro/internal/staticconf"
 	"repro/internal/trace"
 )
@@ -84,6 +85,11 @@ func NewProgram(name string, bin *objfile.Binary, ar *alloc.Arena,
 	return &Program{Name: name, Binary: bin, Arena: ar, runThread: run}
 }
 
+// pipePool recycles staging pipelines across RunThread calls. A pipeline
+// holds only its block buffer between uses; Rebind discards any buffered
+// state, so pooling is invisible to the delivered stream.
+var pipePool parsim.Pool[*trace.Pipeline[trace.BlockSink]]
+
 // Run emits the full sequential reference stream.
 func (p *Program) Run(sink trace.Sink) { p.RunThread(0, 1, sink) }
 
@@ -91,11 +97,14 @@ func (p *Program) Run(sink trace.Sink) { p.RunThread(0, 1, sink) }
 // Threads partition the kernel's outermost parallel dimension; a thread
 // with no work emits nothing.
 //
-// When sink consumes batches (trace.BatchSink), the references are staged
-// through a trace.Batcher and delivered in fixed-size slices — one dynamic
-// dispatch per batch on the consumer side instead of one per access. Plain
-// sinks (including trace.SinkFunc adapters) receive the unchanged per-ref
-// stream; either way the delivered sequence is identical.
+// When sink consumes struct-of-arrays blocks (trace.BlockSink), the
+// references are staged through a trace.Pipeline and delivered in fixed-size
+// RefBlocks — the replay fast path: one dispatch per block, and the
+// consumer's fused loop classifies the whole block in one pass. Sinks that
+// only consume batches (trace.BatchSink) are staged through a trace.Batcher
+// as before. Plain sinks (including trace.SinkFunc adapters) receive the
+// unchanged per-ref stream; on every path the delivered sequence is
+// identical.
 func (p *Program) RunThread(tid, threads int, sink trace.Sink) {
 	if threads < 1 {
 		threads = 1
@@ -103,14 +112,26 @@ func (p *Program) RunThread(tid, threads int, sink trace.Sink) {
 	if tid < 0 || tid >= threads {
 		panic(fmt.Sprintf("workloads: thread %d out of range [0,%d)", tid, threads))
 	}
-	if bs, ok := sink.(trace.BatchSink); ok {
-		b := trace.NewBatcher(bs, 0)
+	switch s := sink.(type) {
+	case trace.BlockSink:
+		pl := pipePool.Get()
+		if pl == nil {
+			pl = trace.NewPipeline[trace.BlockSink](s, 0)
+		} else {
+			pl.Rebind(s)
+		}
+		p.runThread(tid, threads, pl)
+		pl.Flush()
+		pl.ObserveInto(obs.Default)
+		pipePool.Put(pl)
+	case trace.BatchSink:
+		b := trace.NewBatcher(s, 0)
 		p.runThread(tid, threads, b)
 		b.Flush()
 		b.ObserveInto(obs.Default)
-		return
+	default:
+		p.runThread(tid, threads, sink)
 	}
-	p.runThread(tid, threads, sink)
 }
 
 // Record runs the program sequentially into a Recorder and returns it.
