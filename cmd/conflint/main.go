@@ -1,226 +1,181 @@
 // Command conflint lints Go packages for conflict-prone cache access
-// patterns: it interprets every niladic kernel constructor with the
-// spec-extraction machinery, derives each kernel's affine access spec,
-// and reports power-of-two camping strides, set-camping row sizes,
-// aliased bases marching in lockstep, and outright conflict verdicts
-// from the static analyzer.
+// patterns. It drives the internal/conflint analysis framework: every
+// niladic kernel constructor is interpreted into an affine access spec,
+// priced by the closed-form analytic model, and checked by a set of
+// modular analyzers (power-of-two camping strides, set-camping row
+// sizes, aliased bases, static conflict verdicts, cross-thread false
+// sharing, and verified pad fixes).
 //
 // Usage:
 //
-//	conflint [-fail] [-json] [-baseline FILE] [-v] [packages]
+//	conflint [-fail] [-json|-sarif] [-baseline FILE] [-fix [-diff]]
+//	         [-cache DIR] [-j N] [-v] [packages]
 //
 // Packages are directories; the Go-style wildcard dir/... lints every
-// package below dir (skipping testdata, vendor, and hidden directories).
-// With no arguments, ./... is linted. Packages without lintable kernels
-// are silently skipped, so running conflint over a whole module is cheap.
-// With -fail, the exit status is 1 when any finding is reported.
+// package below dir (skipping testdata, vendor, and hidden
+// directories). With no arguments, ./... is linted. Packages without
+// lintable kernels are silently skipped, so running conflint over a
+// whole module is cheap.
 //
-// Every finding carries the closed-form analytic model's predicted
-// contribution factor for its kernel and the derived severity band
-// (high ≥ 70%, medium ≥ 25%, low below). -json replaces the human
-// format with one machine-readable document: the findings with
-// file/line split out of the loop location, plus the lint totals.
-// -baseline FILE compares the run against a previous -json document
-// and exits 1 only when a finding not present in the baseline appears —
-// the ratchet mode CI uses over packages with known, intentional
-// pathologies.
+// Output modes are mutually exclusive: the default human format, -json
+// (one machine-readable document whose findings carry fingerprints, so
+// it doubles as a baseline), or -sarif (SARIF 2.1.0 with rule
+// metadata, fingerprints, and machine-applicable fixes). Findings are
+// sorted by (file, byte offset, rule) and every mode is byte-identical
+// across runs and -j settings.
+//
+// -fix applies the suggested fixes (currently verified pad edits)
+// atomically through gofmt; with -diff the tree is untouched and a
+// unified diff of what would change is printed instead. -baseline FILE
+// compares the run against a previous -json document and exits 1 only
+// on findings absent from it, matching by fingerprint (with a legacy
+// positional fallback for pre-fingerprint baselines). -cache DIR
+// reuses per-directory results keyed on file content hashes.
+//
+// Source lines can opt out with //ccprof:ignore [rule,...] [reason]
+// directives (next-line scope, or whole-kernel from a constructor's doc
+// comment); directives that match nothing are themselves reported.
+//
+// Exit status: 0 clean, 1 findings (with -fail or -baseline) or a
+// runtime failure, 2 usage errors.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
 
-	"repro/internal/mem"
-	"repro/internal/specgen"
+	"repro/internal/conflint"
 )
 
-// jsonFinding is one finding in the -json document, with the loop
-// location split into file and line for machine consumers.
-type jsonFinding struct {
-	Dir         string  `json:"dir"`
-	Ctor        string  `json:"ctor"`
-	Kernel      string  `json:"kernel"`
-	Array       string  `json:"array,omitempty"`
-	Loop        string  `json:"loop,omitempty"`
-	File        string  `json:"file,omitempty"`
-	Line        int     `json:"line,omitempty"`
-	Kind        string  `json:"kind"`
-	Detail      string  `json:"detail"`
-	Severity    string  `json:"severity"`
-	PredictedCF float64 `json:"predicted_cf"`
-}
-
-// key identifies a finding across runs for the baseline ratchet:
-// location and kind, not the detail text (which carries counts that
-// drift with workload scale).
-func (f jsonFinding) key() string {
-	return strings.Join([]string{f.Dir, f.Ctor, f.Kernel, f.Array, f.Loop, f.Kind}, "|")
-}
-
-// jsonReport is the top-level -json document.
-type jsonReport struct {
-	Kernels  int           `json:"kernels"`
-	Findings []jsonFinding `json:"findings"`
-}
+// version tags the SARIF tool descriptor; bump alongside rule changes.
+const version = "2.0.0"
 
 func main() {
+	os.Exit(run())
+}
+
+func usageError(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "conflint: "+format+"\n", args...)
+	flag.Usage()
+	return 2
+}
+
+func fatal(err error) int {
+	fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
+	return 1
+}
+
+func run() int {
 	fail := flag.Bool("fail", false, "exit with status 1 when findings are reported")
-	jsonOut := flag.Bool("json", false, "emit machine-readable findings instead of the human format")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable document instead of the human format")
+	sarifOut := flag.Bool("sarif", false, "emit a SARIF 2.1.0 document instead of the human format")
 	baseline := flag.String("baseline", "", "compare against this -json document; exit 1 only on findings absent from it")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source tree (gofmt'ed, atomic per file)")
+	diff := flag.Bool("diff", false, "with -fix: print a unified diff of the fixes instead of writing them")
+	cacheDir := flag.String("cache", "", "reuse per-directory results from this cache directory")
+	jobs := flag.Int("j", 1, "lint up to N directories concurrently (output is identical at any N)")
 	verbose := flag.Bool("v", false, "also list linted kernels and skipped functions")
 	flag.Parse()
+
+	// Validate the flag combination up front: conflicting modes are a
+	// usage error (exit 2), not a partially-honored run.
+	switch {
+	case *jsonOut && *sarifOut:
+		return usageError("-json and -sarif are mutually exclusive")
+	case *fix && (*jsonOut || *sarifOut):
+		return usageError("-fix does not combine with -json or -sarif; run the report first, then fix")
+	case *fix && *baseline != "":
+		return usageError("-fix does not combine with -baseline")
+	case *diff && !*fix:
+		return usageError("-diff requires -fix")
+	case *jobs < 1:
+		return usageError("-j must be at least 1")
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	dirs, err := expand(args)
+	dirs, err := conflint.Expand(args)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
-		os.Exit(2)
+		return usageError("%v", err)
 	}
 
-	g := mem.L1Default()
-	out := jsonReport{Findings: []jsonFinding{}}
-	for _, dir := range dirs {
-		rep, err := specgen.LintDir(dir, g)
-		if err != nil {
-			// Not a parsable Go package (or empty): nothing to lint.
-			if *verbose {
-				fmt.Fprintf(os.Stderr, "conflint: skipping %s: %v\n", dir, err)
-			}
-			continue
-		}
-		out.Kernels += len(rep.Kernels)
-		for _, f := range rep.Findings {
-			out.Findings = append(out.Findings, toJSON(dir, f))
-			if !*jsonOut {
-				fmt.Printf("%s: %s\n", dir, f)
-			}
-		}
-		if *verbose && !*jsonOut {
-			for _, k := range rep.Kernels {
-				fmt.Printf("%s: linted %s (%s): %d findings\n", dir, k.Ctor, k.Kernel, k.Findings)
-			}
-		}
+	res, err := conflint.Run(dirs, conflint.Config{CacheDir: *cacheDir, Jobs: *jobs})
+	if err != nil {
+		return fatal(err)
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
+		doc := conflint.JSONReport{Kernels: res.Kernels, Findings: res.Diags}
+		if doc.Findings == nil {
+			doc.Findings = []conflint.Diagnostic{}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
-			os.Exit(2)
+		if err := enc.Encode(doc); err != nil {
+			return fatal(err)
 		}
-	} else {
-		fmt.Printf("conflint: %d kernels linted, %d findings\n", out.Kernels, len(out.Findings))
+	case *sarifOut:
+		if err := conflint.WriteSARIF(os.Stdout, res, version); err != nil {
+			return fatal(err)
+		}
+	default:
+		for _, d := range res.Diags {
+			fmt.Printf("%s: %s\n", d.Dir, d)
+		}
+		if *verbose {
+			for _, dr := range res.Dirs {
+				for _, k := range dr.Kernels {
+					fmt.Printf("%s: linted %s (%s): %d findings\n", dr.Dir, k.Label, k.Kernel, k.Findings)
+				}
+				for fn, why := range dr.Skipped {
+					fmt.Fprintf(os.Stderr, "conflint: %s: skipped %s: %s\n", dr.Dir, fn, why)
+				}
+				if dr.LoadErr != "" {
+					fmt.Fprintf(os.Stderr, "conflint: skipping %s: %s\n", dr.Dir, dr.LoadErr)
+				}
+			}
+		}
+		fmt.Printf("conflint: %d kernels linted, %d findings\n", res.Kernels, len(res.Diags))
+	}
+
+	if *fix {
+		outcome, err := conflint.ApplyFixes(res, *diff)
+		if err != nil {
+			return fatal(err)
+		}
+		if *diff {
+			text, err := outcome.Diff()
+			if err != nil {
+				return fatal(err)
+			}
+			fmt.Print(text)
+			fmt.Printf("conflint: %d fixes in %d files (dry run, tree untouched)\n", outcome.Edits, len(outcome.Files))
+		} else {
+			fmt.Printf("conflint: applied %d fixes in %d files\n", outcome.Edits, len(outcome.Files))
+		}
 	}
 
 	if *baseline != "" {
-		fresh, err := newFindings(out.Findings, *baseline)
+		fresh, err := conflint.NewFindings(res.Diags, *baseline)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "conflint: %v\n", err)
-			os.Exit(2)
+			return fatal(err)
 		}
 		for _, f := range fresh {
 			fmt.Fprintf(os.Stderr, "conflint: new finding not in baseline: %s: %s: %s [%s]\n",
-				f.Dir, f.Kernel, f.Kind, f.Severity)
+				f.Dir, f.Kernel, f.Rule, f.Severity)
 		}
 		if len(fresh) > 0 {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
-	if *fail && len(out.Findings) > 0 {
-		os.Exit(1)
+	if *fail && len(res.Diags) > 0 {
+		return 1
 	}
-}
-
-// toJSON converts a lint finding, splitting the "file.c:line" loop
-// location of per-access findings.
-func toJSON(dir string, f specgen.Finding) jsonFinding {
-	j := jsonFinding{
-		Dir: dir, Ctor: f.Ctor, Kernel: f.Kernel, Array: f.Array, Loop: f.Loop,
-		Kind: f.Kind, Detail: f.Detail, Severity: f.Severity, PredictedCF: f.PredictedCF,
-	}
-	if file, line, ok := strings.Cut(f.Loop, ":"); ok {
-		if n, err := strconv.Atoi(line); err == nil {
-			j.File, j.Line = file, n
-		}
-	}
-	return j
-}
-
-// newFindings returns the findings whose key is absent from the
-// baseline -json document at path.
-func newFindings(findings []jsonFinding, path string) ([]jsonFinding, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var base jsonReport
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return nil, fmt.Errorf("baseline %s: %w", path, err)
-	}
-	known := make(map[string]bool, len(base.Findings))
-	for _, f := range base.Findings {
-		known[f.key()] = true
-	}
-	var fresh []jsonFinding
-	for _, f := range findings {
-		if !known[f.key()] {
-			fresh = append(fresh, f)
-		}
-	}
-	return fresh, nil
-}
-
-// expand resolves the package arguments to a sorted list of directories,
-// handling the dir/... wildcard the way the go tool does.
-func expand(args []string) ([]string, error) {
-	seen := map[string]bool{}
-	var dirs []string
-	add := func(d string) {
-		if !seen[d] {
-			seen[d] = true
-			dirs = append(dirs, d)
-		}
-	}
-	for _, arg := range args {
-		root, recursive := strings.CutSuffix(arg, "...")
-		if !recursive {
-			add(filepath.Clean(arg))
-			continue
-		}
-		if root == "" {
-			root = "."
-		}
-		root = filepath.Clean(root)
-		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() {
-				return nil
-			}
-			name := d.Name()
-			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-				return filepath.SkipDir
-			}
-			add(path)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Strings(dirs)
-	return dirs, nil
+	return 0
 }

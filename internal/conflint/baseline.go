@@ -1,0 +1,51 @@
+package conflint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// JSONReport is the top-level -json document; a saved one doubles as a
+// baseline because every finding carries its fingerprint.
+type JSONReport struct {
+	Kernels  int          `json:"kernels"`
+	Findings []Diagnostic `json:"findings"`
+}
+
+// NewFindings returns the findings absent from the baseline -json
+// document at path. Matching prefers fingerprints — stable across
+// unrelated edits, line drift, and workload-scale changes. Baseline
+// entries written before fingerprints existed carry none; those are
+// honored through the legacy positional key for one release, so an old
+// baseline keeps ratcheting until it is regenerated.
+func NewFindings(findings []Diagnostic, path string) ([]Diagnostic, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base JSONReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	prints := make(map[string]bool, len(base.Findings))
+	legacy := make(map[string]bool, len(base.Findings))
+	for _, f := range base.Findings {
+		if f.Fingerprint != "" {
+			prints[f.Fingerprint] = true
+		} else {
+			legacy[f.legacyKey()] = true
+		}
+	}
+	var fresh []Diagnostic
+	for _, f := range findings {
+		if f.Fingerprint != "" && prints[f.Fingerprint] {
+			continue
+		}
+		if legacy[f.legacyKey()] {
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, nil
+}

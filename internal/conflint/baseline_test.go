@@ -1,0 +1,114 @@
+package conflint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, doc JSONReport) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBaselineFingerprintMatch: a finding whose fingerprint is in the
+// baseline is not new, even when every positional field moved — the
+// robustness the fingerprint scheme exists for.
+func TestBaselineFingerprintMatch(t *testing.T) {
+	res := mustRun(t, []string{pathologicalDir}, Config{})
+	if len(res.Diags) == 0 {
+		t.Fatal("no findings to baseline")
+	}
+
+	// The run's own output as baseline: nothing is new.
+	path := writeBaseline(t, JSONReport{Kernels: res.Kernels, Findings: res.Diags})
+	fresh, err := NewFindings(res.Diags, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 0 {
+		t.Fatalf("self-baseline reported %d new findings", len(fresh))
+	}
+
+	// Scramble the positions in the baseline copy; fingerprints still match.
+	moved := make([]Diagnostic, len(res.Diags))
+	copy(moved, res.Diags)
+	for i := range moved {
+		moved[i].Dir = "somewhere/else"
+		moved[i].Loop = "other.c:99"
+		moved[i].Pos = Position{File: "renamed.go", Line: 1, Offset: 9000}
+	}
+	path = writeBaseline(t, JSONReport{Findings: moved})
+	fresh, err = NewFindings(res.Diags, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 0 {
+		t.Fatalf("positional drift broke fingerprint matching: %d new", len(fresh))
+	}
+}
+
+// TestBaselineLegacyFallback: entries written before fingerprints
+// existed carry none and must still match through the positional key.
+func TestBaselineLegacyFallback(t *testing.T) {
+	res := mustRun(t, []string{pathologicalDir}, Config{})
+	legacy := make([]Diagnostic, len(res.Diags))
+	copy(legacy, res.Diags)
+	for i := range legacy {
+		legacy[i].Fingerprint = "" // pre-fingerprint baseline entry
+		legacy[i].Pos = Position{}
+	}
+	path := writeBaseline(t, JSONReport{Findings: legacy})
+	fresh, err := NewFindings(res.Diags, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 0 {
+		t.Fatalf("legacy baseline entries not honored: %d new", len(fresh))
+	}
+}
+
+// TestBaselineCatchesNewFinding: an empty baseline flags everything;
+// a partial baseline flags exactly the absent findings.
+func TestBaselineCatchesNewFinding(t *testing.T) {
+	res := mustRun(t, []string{pathologicalDir}, Config{})
+	path := writeBaseline(t, JSONReport{Findings: []Diagnostic{}})
+	fresh, err := NewFindings(res.Diags, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != len(res.Diags) {
+		t.Fatalf("empty baseline: %d new, want %d", len(fresh), len(res.Diags))
+	}
+
+	path = writeBaseline(t, JSONReport{Findings: res.Diags[1:]})
+	fresh, err = NewFindings(res.Diags, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 1 || fresh[0].Fingerprint != res.Diags[0].Fingerprint {
+		t.Fatalf("partial baseline: got %v", fresh)
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	if _, err := NewFindings(nil, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing baseline file not reported")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFindings(nil, path); err == nil {
+		t.Error("unparsable baseline not reported")
+	}
+}

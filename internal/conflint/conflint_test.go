@@ -1,0 +1,191 @@
+package conflint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/staticconf"
+)
+
+const (
+	pathologicalDir = "../specgen/testdata/pathological"
+	cleanDir        = "../specgen/testdata/clean"
+	falseshareDir   = "../specgen/testdata/falseshare"
+	suppressDir     = "testdata/suppress"
+	workloadsDir    = "../workloads"
+)
+
+func mustRun(t *testing.T, dirs []string, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(dirs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// rulesOf collects the rule set reported for one constructor label.
+func rulesOf(res *Result, ctor string) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range res.Diags {
+		if d.Ctor == ctor {
+			out[d.Rule] = true
+		}
+	}
+	return out
+}
+
+// TestPathologicalFindings pins what the seeded pathologies trigger:
+// the fixture exists so a silent lint regression fails loudly.
+func TestPathologicalFindings(t *testing.T) {
+	res := mustRun(t, []string{pathologicalDir}, Config{})
+	if res.Kernels != 3 {
+		t.Fatalf("kernels = %d, want 3", res.Kernels)
+	}
+	for ctor, want := range map[string][]string{
+		"RepeatedColumn": {RuleStaticConflict, RulePow2Stride, RulePadFix},
+		"CampingRows":    {RuleStaticConflict, RuleSetCamping, RulePadFix},
+		"AliasedStreams": {RuleAliasingBases, RulePow2Stride},
+	} {
+		got := rulesOf(res, ctor)
+		for _, rule := range want {
+			if !got[rule] {
+				t.Errorf("%s: missing %s finding (got %v)", ctor, rule, got)
+			}
+		}
+	}
+	for _, d := range res.Diags {
+		if d.Ctor == "RepeatedColumn" && d.Severity != "high" {
+			t.Errorf("RepeatedColumn %s severity = %s, want high", d.Rule, d.Severity)
+		}
+		if d.Fingerprint == "" {
+			t.Errorf("%s/%s: empty fingerprint", d.Ctor, d.Rule)
+		}
+		if d.Pos.File == "" || d.Pos.Line == 0 {
+			t.Errorf("%s/%s: missing source position", d.Ctor, d.Rule)
+		}
+		if d.Rule == RulePadFix {
+			if len(d.Fixes) != 1 || len(d.Fixes[0].Edits) == 0 {
+				t.Errorf("padfix for %s carries no edits", d.Ctor)
+			}
+			if !strings.Contains(d.Detail, "drops the predicted CF") {
+				t.Errorf("padfix detail = %q, want re-scored CF", d.Detail)
+			}
+		}
+	}
+}
+
+func TestCleanFixture(t *testing.T) {
+	res := mustRun(t, []string{cleanDir}, Config{})
+	if res.Kernels == 0 {
+		t.Fatal("no kernels linted in the clean fixture")
+	}
+	if len(res.Diags) != 0 {
+		t.Fatalf("clean fixture produced findings: %v", res.Diags)
+	}
+}
+
+// TestFalseSharing pins the positive and negative layouts: packed
+// per-thread counters on one line are flagged (both sides write, so the
+// severity is high); line-padded counters are clean.
+func TestFalseSharing(t *testing.T) {
+	res := mustRun(t, []string{falseshareDir}, Config{})
+	var hit *Diagnostic
+	for i, d := range res.Diags {
+		if d.Ctor == "PaddedCounters" {
+			t.Errorf("PaddedCounters flagged: %s", d)
+		}
+		if d.Ctor == "SharedCounters" && d.Rule == RuleFalseSharing {
+			hit = &res.Diags[i]
+		}
+	}
+	if hit == nil {
+		t.Fatal("SharedCounters: no false-sharing finding")
+	}
+	if hit.Severity != "high" {
+		t.Errorf("severity = %s, want high (both threads write)", hit.Severity)
+	}
+	if !strings.Contains(hit.Detail, "both write") {
+		t.Errorf("detail = %q, want both-write attribution", hit.Detail)
+	}
+}
+
+// TestWorkloadsLint keeps the lint useful on the real corpus: the
+// paper's case studies must stay lintable and keep producing findings
+// on their known-pathological variants.
+func TestWorkloadsLint(t *testing.T) {
+	res := mustRun(t, []string{workloadsDir}, Config{})
+	if res.Kernels < 10 {
+		t.Fatalf("kernels = %d, want >= 10", res.Kernels)
+	}
+	if len(res.Diags) == 0 {
+		t.Fatal("no findings over the workload corpus")
+	}
+}
+
+// TestDeterministicOutput runs the same lint twice, serially and with a
+// worker pool, and requires byte-identical JSON and SARIF documents —
+// the contract CI and the incremental cache both lean on.
+func TestDeterministicOutput(t *testing.T) {
+	dirs := []string{pathologicalDir, cleanDir, falseshareDir}
+	render := func(cfg Config) (string, string) {
+		res := mustRun(t, dirs, cfg)
+		js, err := json.Marshal(JSONReport{Kernels: res.Kernels, Findings: res.Diags})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sarif bytes.Buffer
+		if err := WriteSARIF(&sarif, res, "test"); err != nil {
+			t.Fatal(err)
+		}
+		return string(js), sarif.String()
+	}
+	j1, s1 := render(Config{})
+	j2, s2 := render(Config{})
+	j4, s4 := render(Config{Jobs: 4})
+	if j1 != j2 || s1 != s2 {
+		t.Error("output differs across identical runs")
+	}
+	if j1 != j4 || s1 != s4 {
+		t.Error("output differs between -j 1 and -j 4")
+	}
+}
+
+// TestFingerprintStability pins the properties the baseline ratchet
+// depends on: determinism, insensitivity to scale (trip counts and
+// bases move, the structure does not), sensitivity to rule, symbol, and
+// stride class.
+func TestFingerprintStability(t *testing.T) {
+	acc := func(base uint64, stride int64, trip int) staticconf.Access {
+		return staticconf.Access{
+			Array: "m", Elem: 8, Base: base,
+			Dims: []staticconf.Dim{{Stride: stride, Trip: trip}},
+		}
+	}
+	a := fingerprint(RulePow2Stride, "Hotspot", "hotspot", []staticconf.Access{acc(0x100000, 4096, 512)})
+	if a != fingerprint(RulePow2Stride, "Hotspot", "hotspot", []staticconf.Access{acc(0x100000, 4096, 512)}) {
+		t.Error("fingerprint is not deterministic")
+	}
+	// Scale drift: a bigger matrix at a different base, same pow2-stride
+	// shape — must match, or every workload-size bump breaks baselines.
+	if a != fingerprint(RulePow2Stride, "Hotspot", "hotspot", []staticconf.Access{acc(0x200000, 8192, 1024)}) {
+		t.Error("fingerprint moves with workload scale")
+	}
+	if fingerprint(RuleSetCamping, "Hotspot", "hotspot", []staticconf.Access{acc(0x100000, 4096, 512)}) == a {
+		t.Error("fingerprint ignores the rule")
+	}
+	if fingerprint(RulePow2Stride, "Other", "hotspot", []staticconf.Access{acc(0x100000, 4096, 512)}) == a {
+		t.Error("fingerprint ignores the constructor")
+	}
+	// Stride-class change (pow2 → other) is a structural change.
+	if fingerprint(RulePow2Stride, "Hotspot", "hotspot", []staticconf.Access{acc(0x100000, 6144, 512)}) == a {
+		t.Error("fingerprint ignores the stride class")
+	}
+	wr := acc(0x100000, 4096, 512)
+	wr.Write = true
+	if fingerprint(RulePow2Stride, "Hotspot", "hotspot", []staticconf.Access{wr}) == a {
+		t.Error("fingerprint ignores the write flag")
+	}
+}

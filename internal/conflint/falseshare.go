@@ -1,0 +1,118 @@
+package conflint
+
+import (
+	"fmt"
+
+	"repro/internal/staticconf"
+)
+
+// falseShareThreads is the thread count the false-sharing check probes
+// with: two sides are enough to witness any tid-parameterized layout
+// collision, and keep the extra extraction cost at two interpreter runs
+// per kernel.
+const falseShareThreads = 2
+
+// FalseSharing re-extracts every kernel once per thread id and reports
+// cache lines that distinct runThread goroutines write at distinct
+// addresses: struct fields or adjacent array slots sharing a line
+// invalidate across cores on every store, even though no set conflict
+// exists. Read-only sharing is fine and not reported.
+var FalseSharing = &Analyzer{
+	Name: RuleFalseSharing,
+	Doc:  "distinct runThread goroutines write different bytes of one cache line",
+	Run: func(p *Pass) error {
+		for _, k := range p.Kernels {
+			if k.Ex.Spec == nil {
+				continue
+			}
+			specs := make([]*staticconf.Spec, falseShareThreads)
+			for tid := 0; tid < falseShareThreads; tid++ {
+				ex, err := p.Pkg.ExtractKernelTid(p.Geom, k.Ctor, k.Variant, tid, falseShareThreads)
+				if err != nil || ex.Spec == nil {
+					specs[tid] = nil
+					continue
+				}
+				specs[tid] = ex.Spec
+			}
+			seen := map[string]bool{}
+			for i := 0; i < falseShareThreads; i++ {
+				for j := i + 1; j < falseShareThreads; j++ {
+					if specs[i] == nil || specs[j] == nil {
+						continue
+					}
+					reportFalseSharing(p, k, i, j, specs[i], specs[j], seen)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// reportFalseSharing compares the per-thread specs of one tid pair:
+// a pair of accesses where at least one side writes, the start
+// addresses differ, and both land on one cache line is the classic
+// false-sharing layout (per-thread counters packed into one line,
+// boundary slots of a block partition).
+func reportFalseSharing(p *Pass, k *Kernel, ti, tj int, a, b *staticconf.Spec, seen map[string]bool) {
+	// Keep the worst pair per (arrays, line): a both-write collision
+	// outranks a read/write one on the same line.
+	type hit struct{ aa, ba staticconf.Access }
+	best := map[string]hit{}
+	var order []string
+	for _, aa := range a.Accesses {
+		for _, ba := range b.Accesses {
+			if !aa.Write && !ba.Write {
+				continue
+			}
+			if aa.Base == ba.Base {
+				continue // same slot: true sharing, not a layout problem
+			}
+			if p.Geom.LineNumber(aa.Base) != p.Geom.LineNumber(ba.Base) {
+				continue
+			}
+			pair := aa.Array
+			if ba.Array != aa.Array {
+				pair = aa.Array + ", " + ba.Array
+			}
+			key := fmt.Sprintf("%s|%d", pair, p.Geom.LineNumber(aa.Base))
+			cur, ok := best[key]
+			if !ok {
+				order = append(order, key)
+			}
+			if !ok || (aa.Write && ba.Write && !(cur.aa.Write && cur.ba.Write)) {
+				best[key] = hit{aa, ba}
+			}
+		}
+	}
+	for _, key := range order {
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		aa, ba := best[key].aa, best[key].ba
+		pair := aa.Array
+		if ba.Array != aa.Array {
+			pair = aa.Array + ", " + ba.Array
+		}
+		sev := "medium"
+		if aa.Write && ba.Write {
+			sev = "high"
+		}
+		p.Report(Diagnostic{
+			Ctor: k.Label, Kernel: k.Ex.Kernel, Array: pair, Loop: aa.Loop,
+			Rule: RuleFalseSharing,
+			Detail: fmt.Sprintf(
+				"threads %d and %d touch line %#x at distinct addresses %#x and %#x (%s); the line ping-pongs between cores on every store",
+				ti, tj, p.Geom.Line(aa.Base), aa.Base, ba.Base, writers(aa, ba)),
+			Severity: sev, PredictedCF: k.PredCF,
+			Pos: arrayPos(p, k, aa.Array),
+		}, aa, ba)
+	}
+}
+
+func writers(a, b staticconf.Access) string {
+	if a.Write && b.Write {
+		return "both write"
+	}
+	return "one writes"
+}

@@ -1,0 +1,294 @@
+package conflint
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FixOutcome reports what ApplyFixes did (or, in dry-run, would do).
+type FixOutcome struct {
+	// Files maps each edited path to its patched, formatted content.
+	Files map[string][]byte
+	// Edits is the number of distinct text edits applied.
+	Edits int
+}
+
+// ApplyFixes gathers every suggested fix in the result, applies them to
+// the owning files, and runs the output through go/format. With
+// dryRun, the tree is left untouched and the patched contents are only
+// returned (for -diff). Writes are atomic per file (temp + rename).
+//
+// Identical edits from different diagnostics collapse; edits that
+// overlap without being identical are an error — the tool refuses to
+// guess which layout the user wants.
+func ApplyFixes(res *Result, dryRun bool) (*FixOutcome, error) {
+	byFile := map[string][]TextEdit{}
+	for _, d := range res.Diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				byFile[e.File] = append(byFile[e.File], e)
+			}
+		}
+	}
+	out := &FixOutcome{Files: map[string][]byte{}}
+	var files []string
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		edits := dedupeEdits(byFile[file])
+		if err := checkOverlap(file, edits); err != nil {
+			return nil, err
+		}
+		src, err := readFile(file)
+		if err != nil {
+			return nil, err
+		}
+		patched, err := applyEdits(file, src, edits)
+		if err != nil {
+			return nil, err
+		}
+		formatted, err := format.Source(patched)
+		if err != nil {
+			return nil, fmt.Errorf("conflint: fix for %s does not format: %w", file, err)
+		}
+		out.Files[file] = formatted
+		out.Edits += len(edits)
+	}
+	if dryRun {
+		return out, nil
+	}
+	for _, file := range files {
+		if err := writeFileAtomic(file, out.Files[file]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// dedupeEdits collapses byte-identical edits (the same pad literal can
+// be targeted by several diagnostics) and returns the rest sorted by
+// start offset.
+func dedupeEdits(edits []TextEdit) []TextEdit {
+	seen := map[TextEdit]bool{}
+	var out []TextEdit
+	for _, e := range edits {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].End < out[j].End
+	})
+	return out
+}
+
+func checkOverlap(file string, edits []TextEdit) error {
+	for i := 1; i < len(edits); i++ {
+		if edits[i].Start < edits[i-1].End {
+			return fmt.Errorf("conflint: conflicting fixes for %s at byte %d; apply one and re-run", file, edits[i].Start)
+		}
+	}
+	return nil
+}
+
+// applyEdits splices the edits into src back-to-front so earlier
+// offsets stay valid.
+func applyEdits(file string, src []byte, edits []TextEdit) ([]byte, error) {
+	for i := len(edits) - 1; i >= 0; i-- {
+		e := edits[i]
+		if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+			return nil, fmt.Errorf("conflint: fix for %s is out of range (%d..%d of %d bytes)", file, e.Start, e.End, len(src))
+		}
+		src = append(src[:e.Start:e.Start], append([]byte(e.NewText), src[e.End:]...)...)
+	}
+	return src, nil
+}
+
+func writeFileAtomic(file string, data []byte) error {
+	dir := filepath.Dir(file)
+	tmp, err := os.CreateTemp(dir, filepath.Base(file)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	info, err := os.Stat(file)
+	if err == nil {
+		os.Chmod(tmp.Name(), info.Mode())
+	}
+	if err := os.Rename(tmp.Name(), file); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Diff renders a unified diff of the dry-run outcome against the tree,
+// three lines of context per hunk, files in sorted order.
+func (o *FixOutcome) Diff() (string, error) {
+	var files []string
+	for f := range o.Files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var sb strings.Builder
+	for _, file := range files {
+		orig, err := readFile(file)
+		if err != nil {
+			return "", err
+		}
+		d := unifiedDiff(file, splitLines(string(orig)), splitLines(string(o.Files[file])))
+		sb.WriteString(d)
+	}
+	return sb.String(), nil
+}
+
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	lines := strings.SplitAfter(s, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// unifiedDiff is a minimal LCS-based unified diff, enough for human
+// review of pad edits; it is not a patch(1)-grade implementation.
+func unifiedDiff(file string, a, b []string) string {
+	ops := diffOps(a, b)
+	if len(ops) == 0 {
+		return ""
+	}
+	const ctx = 3
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", file, file)
+	i := 0
+	for i < len(ops) {
+		if ops[i].kind == ' ' {
+			i++
+			continue
+		}
+		// Expand a hunk around this change, merging changes whose
+		// context windows touch.
+		start := i
+		end := i
+		for j := i + 1; j < len(ops); j++ {
+			if ops[j].kind != ' ' {
+				gap := 0
+				for k := end + 1; k < j; k++ {
+					gap++
+				}
+				if gap > 2*ctx {
+					break
+				}
+				end = j
+			}
+		}
+		lo := start
+		for lo > 0 && start-lo < ctx && ops[lo-1].kind == ' ' {
+			lo--
+		}
+		hi := end
+		for hi < len(ops)-1 && hi-end < ctx && ops[hi+1].kind == ' ' {
+			hi++
+		}
+		aStart, bStart := ops[lo].aLine, ops[lo].bLine
+		var aCount, bCount int
+		for _, op := range ops[lo : hi+1] {
+			if op.kind != '+' {
+				aCount++
+			}
+			if op.kind != '-' {
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart+1, aCount, bStart+1, bCount)
+		for _, op := range ops[lo : hi+1] {
+			sb.WriteByte(byte(op.kind))
+			sb.WriteString(op.text)
+			if !strings.HasSuffix(op.text, "\n") {
+				sb.WriteString("\n\\ No newline at end of file\n")
+			}
+		}
+		i = hi + 1
+	}
+	return sb.String()
+}
+
+type diffOp struct {
+	kind         rune // ' ', '-', '+'
+	text         string
+	aLine, bLine int
+}
+
+// diffOps computes an LCS edit script over line slices. The inputs are
+// whole source files (a few hundred lines), so the quadratic table is
+// fine.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	changed := false
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{' ', a[i], i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{'-', a[i], i, j})
+			changed = true
+			i++
+		default:
+			ops = append(ops, diffOp{'+', b[j], i, j})
+			changed = true
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{'-', a[i], i, j})
+		changed = true
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{'+', b[j], i, j})
+		changed = true
+	}
+	if !changed {
+		return nil
+	}
+	return ops
+}

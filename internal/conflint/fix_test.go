@@ -1,0 +1,141 @@
+package conflint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/mem"
+	"repro/internal/specgen"
+)
+
+// TestFixPathological is the acceptance path: apply the suggested pads
+// to a copy of the pathological fixture, then prove the re-lint is
+// quiet — zero static-conflict and padfix findings — and that every
+// kernel's analytic CF sits below the conflict threshold.
+func TestFixPathological(t *testing.T) {
+	dir := copyFixture(t, pathologicalDir)
+	res := mustRun(t, []string{dir}, Config{})
+	outcome, err := ApplyFixes(res, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Edits == 0 || len(outcome.Files) == 0 {
+		t.Fatal("no fixes applied to the pathological fixture")
+	}
+
+	fixed := mustRun(t, []string{dir}, Config{})
+	for _, d := range fixed.Diags {
+		if d.Rule == RuleStaticConflict || d.Rule == RulePadFix {
+			t.Errorf("finding survived the fix: %s", d)
+		}
+	}
+
+	g := mem.L1Default()
+	set, err := specgen.LintLoad(dir, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Kernels) != 3 {
+		t.Fatalf("fixed fixture extracts %d kernels, want 3", len(set.Kernels))
+	}
+	for _, k := range set.Kernels {
+		if k.Ex.Spec == nil {
+			t.Fatalf("%s: no spec after fix", k.Label)
+		}
+		ar, err := analytic.Analyze(k.Ex.Spec, g, analytic.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Label, err)
+		}
+		if ar.PredictedCF >= padCFThreshold {
+			t.Errorf("%s: predicted CF %.2f still at/above %.2f after fix", k.Label, ar.PredictedCF, padCFThreshold)
+		}
+	}
+}
+
+// TestFixDryRunUntouched: -diff mode must not move a byte of the tree
+// while still rendering the patch.
+func TestFixDryRunUntouched(t *testing.T) {
+	dir := copyFixture(t, pathologicalDir)
+	path := filepath.Join(dir, "pathological.go")
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := mustRun(t, []string{dir}, Config{})
+	outcome, err := ApplyFixes(res, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := outcome.Diff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diff, "-\tm := alloc.NewMatrix2D(ar, \"m\", 512, 512, 8, 0)") ||
+		!strings.Contains(diff, "+\tm := alloc.NewMatrix2D(ar, \"m\", 512, 512, 8, 64)") {
+		t.Errorf("diff does not show the pad edit:\n%s", diff)
+	}
+	if !strings.Contains(diff, "@@ ") || !strings.Contains(diff, "--- "+path) {
+		t.Errorf("diff is not unified format:\n%s", diff)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("dry run modified the tree")
+	}
+}
+
+// TestFixIdempotent: re-running -fix on an already-fixed tree finds no
+// padfix diagnostics, so the second apply is a no-op.
+func TestFixIdempotent(t *testing.T) {
+	dir := copyFixture(t, pathologicalDir)
+	res := mustRun(t, []string{dir}, Config{})
+	if _, err := ApplyFixes(res, false); err != nil {
+		t.Fatal(err)
+	}
+	res2 := mustRun(t, []string{dir}, Config{})
+	outcome, err := ApplyFixes(res2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Edits != 0 {
+		t.Errorf("second fix pass applied %d edits, want 0", outcome.Edits)
+	}
+}
+
+func TestDedupeAndOverlap(t *testing.T) {
+	e1 := TextEdit{File: "f.go", Start: 10, End: 12, NewText: "64"}
+	e2 := TextEdit{File: "f.go", Start: 10, End: 12, NewText: "64"}
+	e3 := TextEdit{File: "f.go", Start: 11, End: 13, NewText: "96"}
+	deduped := dedupeEdits([]TextEdit{e1, e2})
+	if len(deduped) != 1 {
+		t.Fatalf("dedupe kept %d edits, want 1", len(deduped))
+	}
+	if err := checkOverlap("f.go", dedupeEdits([]TextEdit{e1, e3})); err == nil {
+		t.Error("overlapping edits not rejected")
+	}
+	if err := checkOverlap("f.go", deduped); err != nil {
+		t.Errorf("identical edits rejected after dedupe: %v", err)
+	}
+}
+
+// TestApplyEditsBounds: an edit that fell out of sync with the file is
+// an error, not a silent splice.
+func TestApplyEditsBounds(t *testing.T) {
+	if _, err := applyEdits("f.go", []byte("short"), []TextEdit{{Start: 2, End: 99}}); err == nil {
+		t.Error("out-of-range edit accepted")
+	}
+	got, err := applyEdits("f.go", []byte("pad(0)"), []TextEdit{{Start: 4, End: 5, NewText: "64"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "pad(64)" {
+		t.Errorf("applyEdits = %q, want %q", got, "pad(64)")
+	}
+}

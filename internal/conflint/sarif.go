@@ -1,0 +1,196 @@
+package conflint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// SARIF 2.1.0 output. Only the slice of the schema conflint populates
+// is modeled; field order is fixed by the struct definitions so two
+// runs over one tree emit byte-identical documents.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	RuleIndex           int               `json:"ruleIndex"`
+	Level               string            `json:"level"`
+	Message             sarifText         `json:"message"`
+	Locations           []sarifLocation   `json:"locations,omitempty"`
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+	Fixes               []sarifFix        `json:"fixes,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifFix struct {
+	Description     sarifText             `json:"description"`
+	ArtifactChanges []sarifArtifactChange `json:"artifactChanges"`
+}
+
+type sarifArtifactChange struct {
+	ArtifactLocation sarifArtifact      `json:"artifactLocation"`
+	Replacements     []sarifReplacement `json:"replacements"`
+}
+
+type sarifReplacement struct {
+	DeletedRegion   sarifDeleted `json:"deletedRegion"`
+	InsertedContent sarifText    `json:"insertedContent"`
+}
+
+type sarifDeleted struct {
+	CharOffset int `json:"charOffset"`
+	CharLength int `json:"charLength"`
+}
+
+// fingerprintKey is the partialFingerprints slot name; versioned so a
+// future fingerprint scheme does not collide with archived results.
+const fingerprintKey = "conflintFingerprint/v1"
+
+// sarifLevel maps the severity bands onto SARIF's three levels.
+func sarifLevel(severity string) string {
+	switch severity {
+	case "high":
+		return "error"
+	case "medium":
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// ruleCatalog is every rule the tool can emit, in a fixed order, for
+// the SARIF rules table.
+func ruleCatalog(analyzers []*Analyzer) []sarifRule {
+	var rules []sarifRule
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               RuleUnusedSuppression,
+		ShortDescription: sarifText{Text: "a ccprof:ignore directive matched no finding, or did not parse"},
+	})
+	return rules
+}
+
+// WriteSARIF renders the run as a SARIF 2.1.0 document. The result
+// order follows the run's deterministic diagnostic sort, and struct
+// marshalling fixes the field order, so the document is byte-identical
+// across runs and -j settings.
+func WriteSARIF(w io.Writer, res *Result, version string) error {
+	rules := ruleCatalog(Analyzers())
+	ruleIdx := map[string]int{}
+	for i, r := range rules {
+		ruleIdx[r.ID] = i
+	}
+
+	results := []sarifResult{}
+	for _, d := range res.Diags {
+		msg := d.Detail
+		if d.Array != "" {
+			msg = fmt.Sprintf("%s: %s", d.Array, d.Detail)
+		}
+		r := sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: ruleIdx[d.Rule],
+			Level:     sarifLevel(d.Severity),
+			Message:   sarifText{Text: fmt.Sprintf("%s [%s]: %s", d.Ctor, d.Dir, msg)},
+		}
+		if d.Fingerprint != "" {
+			r.PartialFingerprints = map[string]string{fingerprintKey: d.Fingerprint}
+		}
+		if d.Pos.File != "" {
+			r.Locations = []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(d.Pos.File)},
+				Region:           &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}}
+		}
+		for _, fix := range d.Fixes {
+			byFile := map[string][]sarifReplacement{}
+			var order []string
+			for _, e := range fix.Edits {
+				uri := filepath.ToSlash(e.File)
+				if _, ok := byFile[uri]; !ok {
+					order = append(order, uri)
+				}
+				byFile[uri] = append(byFile[uri], sarifReplacement{
+					DeletedRegion:   sarifDeleted{CharOffset: e.Start, CharLength: e.End - e.Start},
+					InsertedContent: sarifText{Text: e.NewText},
+				})
+			}
+			sf := sarifFix{Description: sarifText{Text: fix.Message}}
+			for _, uri := range order {
+				sf.ArtifactChanges = append(sf.ArtifactChanges, sarifArtifactChange{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Replacements:     byFile[uri],
+				})
+			}
+			r.Fixes = append(r.Fixes, sf)
+		}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "conflint",
+				Version:        version,
+				InformationURI: "https://github.com/ccprof/repro",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

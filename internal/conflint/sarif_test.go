@@ -1,0 +1,119 @@
+package conflint
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of diffing against them:
+//
+//	go test ./internal/conflint -run TestGoldenSARIF -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// TestGoldenSARIF pins the full SARIF document for the fixture suite
+// byte-for-byte. Everything in it is deterministic — arena bases, spec
+// shapes, fingerprints, sort order — so any diff is a behavior change
+// that must be either fixed or consciously re-goldened with -update.
+func TestGoldenSARIF(t *testing.T) {
+	res := mustRun(t, []string{cleanDir, falseshareDir, pathologicalDir}, Config{})
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, res, "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "golden", "fixtures.sarif")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/conflint -run TestGoldenSARIF -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output diverged from %s (got %d bytes, want %d).\nIf the change is intentional, re-golden with -update.\n--- got ---\n%s",
+			path, buf.Len(), len(want), buf.String())
+	}
+}
+
+// TestSARIFShape checks the invariants golden bytes cannot express:
+// the document is valid JSON, every result's ruleIndex points at its
+// ruleId, levels come from the severity map, and padfix results carry
+// fixes with concrete replacements.
+func TestSARIFShape(t *testing.T) {
+	res := mustRun(t, []string{pathologicalDir}, Config{})
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, res, "test"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID              string            `json:"ruleId"`
+				RuleIndex           int               `json:"ruleIndex"`
+				Level               string            `json:"level"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+				Fixes               []struct {
+					ArtifactChanges []struct {
+						Replacements []struct {
+							InsertedContent struct {
+								Text string `json:"text"`
+							} `json:"insertedContent"`
+						} `json:"replacements"`
+					} `json:"artifactChanges"`
+				} `json:"fixes"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("SARIF is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("version %q, runs %d", doc.Version, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if len(run.Results) != len(res.Diags) {
+		t.Fatalf("results = %d, diags = %d", len(run.Results), len(res.Diags))
+	}
+	levels := map[string]bool{"error": true, "warning": true, "note": true}
+	sawFix := false
+	for _, r := range run.Results {
+		if run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("ruleIndex %d points at %q, result says %q", r.RuleIndex, run.Tool.Driver.Rules[r.RuleIndex].ID, r.RuleID)
+		}
+		if !levels[r.Level] {
+			t.Errorf("bad level %q", r.Level)
+		}
+		if r.PartialFingerprints[fingerprintKey] == "" {
+			t.Errorf("%s: missing partial fingerprint", r.RuleID)
+		}
+		if r.RuleID == RulePadFix {
+			sawFix = true
+			if len(r.Fixes) == 0 || len(r.Fixes[0].ArtifactChanges) == 0 ||
+				len(r.Fixes[0].ArtifactChanges[0].Replacements) == 0 ||
+				r.Fixes[0].ArtifactChanges[0].Replacements[0].InsertedContent.Text == "" {
+				t.Error("padfix result carries no usable fix")
+			}
+		}
+	}
+	if !sawFix {
+		t.Error("no padfix result in the pathological SARIF")
+	}
+}

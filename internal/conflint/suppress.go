@@ -1,0 +1,200 @@
+package conflint
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The directive must
+// start the comment with no interior space, like //go:build:
+//
+//	//ccprof:ignore                    suppress every rule
+//	//ccprof:ignore pow2-stride        suppress one rule
+//	//ccprof:ignore pow2-stride,padfix intentional layout, see BENCH_2
+//
+// Everything after the rule list is a free-form reason. A directive on
+// its own line suppresses findings anchored on that line or the next;
+// a directive in a constructor's doc comment suppresses every finding
+// of the kernels that constructor builds.
+const directivePrefix = "//ccprof:ignore"
+
+// directive is one parsed suppression.
+type directive struct {
+	pos    Position
+	rules  []string // nil = all rules
+	reason string
+	ctor   string // non-empty: suppresses the whole constructor
+	bad    string // non-empty: malformed, reported as unused-suppression
+	used   bool
+}
+
+// ParseIgnoreDirective parses the text of one comment line. ok reports
+// whether the comment is a ccprof:ignore directive at all; err is
+// non-nil when it is one but malformed (empty rule token, or a token
+// that cannot be a rule name). rules is nil for a bare directive, which
+// suppresses every rule.
+func ParseIgnoreDirective(text string) (rules []string, reason string, ok bool, err error) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return nil, "", false, nil
+	}
+	rest := text[len(directivePrefix):]
+	if rest == "" {
+		return nil, "", true, nil
+	}
+	if rest[0] != ' ' && rest[0] != '\t' {
+		// "//ccprof:ignorexyz" is some other comment, not a directive.
+		return nil, "", false, nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, "", true, nil
+	}
+	list := fields[0]
+	for _, r := range strings.Split(list, ",") {
+		if !validRuleToken(r) {
+			return nil, "", true, fmt.Errorf("conflint: bad rule %q in directive %q", r, text)
+		}
+		rules = append(rules, r)
+	}
+	return rules, strings.Join(fields[1:], " "), true, nil
+}
+
+// validRuleToken bounds what a rule name can look like; the directive
+// parser is fuzzed against this grammar.
+func validRuleToken(s string) bool {
+	if s == "" || len(s) > 64 {
+		return false
+	}
+	if s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// collectDirectives parses every comment of the package for
+// suppressions, tagging those inside a function's doc comment with the
+// function name (constructor-scope suppression).
+func collectDirectives(p *Pass) []*directive {
+	var out []*directive
+	for _, f := range p.Pkg.Files() {
+		docOf := map[*ast.CommentGroup]string{}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docOf[fd.Doc] = fd.Name.Name
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules, reason, ok, err := ParseIgnoreDirective(c.Text)
+				if !ok && err == nil {
+					continue
+				}
+				d := &directive{pos: p.Position(c.Pos()), rules: rules, reason: reason, ctor: docOf[cg]}
+				if err != nil {
+					d.bad = err.Error()
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos.File != out[j].pos.File {
+			return out[i].pos.File < out[j].pos.File
+		}
+		return out[i].pos.Offset < out[j].pos.Offset
+	})
+	return out
+}
+
+func (d *directive) matchesRule(rule string) bool {
+	if rule == RuleUnusedSuppression {
+		return false // the bookkeeping rule cannot be suppressed
+	}
+	if d.rules == nil {
+		return true
+	}
+	for _, r := range d.rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// suppresses reports whether the directive covers the diagnostic:
+// constructor scope matches the kernel's constructor; line scope
+// matches findings anchored on the directive's line or the line below.
+func (d *directive) suppresses(diag Diagnostic) bool {
+	if d.bad != "" || !d.matchesRule(diag.Rule) {
+		return false
+	}
+	if d.ctor != "" {
+		return d.ctor == ctorBase(diag.Ctor)
+	}
+	return d.pos.File == diag.Pos.File &&
+		(diag.Pos.Line == d.pos.Line || diag.Pos.Line == d.pos.Line+1)
+}
+
+// applySuppressions filters the pass's diagnostics through the
+// package's directives and appends an unused-suppression diagnostic for
+// every directive that matched nothing (or did not parse) — stale
+// suppressions hide future regressions and must be cleaned up.
+func applySuppressions(p *Pass) []Diagnostic {
+	dirs := collectDirectives(p)
+	if len(dirs) == 0 {
+		return p.diags
+	}
+	var kept []Diagnostic
+	for _, diag := range p.diags {
+		suppressed := false
+		for _, d := range dirs {
+			if d.suppresses(diag) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	for _, d := range dirs {
+		if d.used {
+			continue
+		}
+		detail := fmt.Sprintf("directive %q matched no finding; delete it", directiveText(d))
+		if d.bad != "" {
+			detail = fmt.Sprintf("malformed directive: %s", d.bad)
+		}
+		ruleList := strings.Join(d.rules, ",")
+		kept = append(kept, Diagnostic{
+			Dir:         p.Dir,
+			Ctor:        d.ctor,
+			Rule:        RuleUnusedSuppression,
+			Detail:      detail,
+			Severity:    "low",
+			Fingerprint: fingerprint(RuleUnusedSuppression, d.ctor, base(d.pos.File)+"|"+ruleList, nil),
+			Pos:         d.pos,
+		})
+		p.c.findings.Inc()
+	}
+	return kept
+}
+
+func directiveText(d *directive) string {
+	s := directivePrefix
+	if len(d.rules) > 0 {
+		s += " " + strings.Join(d.rules, ",")
+	}
+	if d.reason != "" {
+		s += " " + d.reason
+	}
+	return s
+}

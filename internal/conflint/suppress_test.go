@@ -1,0 +1,136 @@
+package conflint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestParseIgnoreDirective(t *testing.T) {
+	tests := []struct {
+		text   string
+		rules  []string
+		reason string
+		ok     bool
+		bad    bool
+	}{
+		{"// a normal comment", nil, "", false, false},
+		{"//ccprof:ignored", nil, "", false, false},
+		{"//ccprof:ignore", nil, "", true, false},
+		{"//ccprof:ignore ", nil, "", true, false},
+		{"//ccprof:ignore padfix", []string{"padfix"}, "", true, false},
+		{"//ccprof:ignore padfix benchmarked regression", []string{"padfix"}, "benchmarked regression", true, false},
+		{"//ccprof:ignore pow2-stride,padfix see notes", []string{"pow2-stride", "padfix"}, "see notes", true, false},
+		{"//ccprof:ignore\tpadfix", []string{"padfix"}, "", true, false},
+		{"//ccprof:ignore Padfix", nil, "", true, true},
+		{"//ccprof:ignore pad_fix", nil, "", true, true},
+		{"//ccprof:ignore padfix,", nil, "", true, true},
+		{"//ccprof:ignore ,padfix", nil, "", true, true},
+		{"//ccprof:ignore 9lives", nil, "", true, true},
+	}
+	for _, tc := range tests {
+		rules, reason, ok, err := ParseIgnoreDirective(tc.text)
+		if ok != tc.ok {
+			t.Errorf("%q: ok = %v, want %v", tc.text, ok, tc.ok)
+			continue
+		}
+		if (err != nil) != tc.bad {
+			t.Errorf("%q: err = %v, want bad=%v", tc.text, err, tc.bad)
+			continue
+		}
+		if tc.bad || !tc.ok {
+			continue
+		}
+		if !reflect.DeepEqual(rules, tc.rules) || reason != tc.reason {
+			t.Errorf("%q: got (%v, %q), want (%v, %q)", tc.text, rules, reason, tc.rules, tc.reason)
+		}
+	}
+}
+
+// TestSuppressionScopes runs the suppression fixture and pins all four
+// behaviors at once: constructor-doc scope silences a whole kernel,
+// line scope silences one rule at one anchor, and both stale and
+// malformed directives come back as unused-suppression findings.
+func TestSuppressionScopes(t *testing.T) {
+	res := mustRun(t, []string{suppressDir}, Config{})
+
+	if got := rulesOf(res, "Quiet"); len(got) != 0 {
+		t.Errorf("Quiet findings survived a constructor-scope directive: %v", got)
+	}
+	loud := rulesOf(res, "Loud")
+	if !loud[RuleStaticConflict] || !loud[RulePow2Stride] {
+		t.Errorf("Loud lost unsuppressed findings: %v", loud)
+	}
+	if loud[RulePadFix] {
+		t.Error("Loud padfix survived its line-scope directive")
+	}
+
+	var unused []Diagnostic
+	for _, d := range res.Diags {
+		if d.Rule == RuleUnusedSuppression {
+			unused = append(unused, d)
+		}
+	}
+	if len(unused) != 2 {
+		t.Fatalf("unused-suppression findings = %d, want 2 (stale + malformed): %v", len(unused), unused)
+	}
+	var sawStale, sawMalformed bool
+	for _, d := range unused {
+		if strings.Contains(d.Detail, "matched no finding") {
+			sawStale = true
+		}
+		if strings.Contains(d.Detail, "malformed directive") {
+			sawMalformed = true
+		}
+	}
+	if !sawStale || !sawMalformed {
+		t.Errorf("unused-suppression details missing a case: %v", unused)
+	}
+}
+
+// FuzzIgnoreDirective hardens the directive parser: any input must
+// parse without panicking, and every accepted rule list must re-parse
+// to itself (the grammar is closed under its own rendering).
+func FuzzIgnoreDirective(f *testing.F) {
+	f.Add("//ccprof:ignore")
+	f.Add("//ccprof:ignore padfix")
+	f.Add("//ccprof:ignore pow2-stride,padfix see notes")
+	f.Add("//ccprof:ignore ,,,")
+	f.Add("//ccprof:ignore\t\tx")
+	f.Add("//ccprof:ignoreX")
+	f.Add("// unrelated")
+	f.Fuzz(func(t *testing.T, text string) {
+		rules, reason, ok, err := ParseIgnoreDirective(text)
+		if !ok {
+			if err != nil {
+				t.Fatalf("not-a-directive returned an error: %v", err)
+			}
+			if rules != nil || reason != "" {
+				t.Fatalf("not-a-directive returned content: %v %q", rules, reason)
+			}
+			return
+		}
+		if err != nil {
+			return // malformed directive: recognized, rejected, no payload expected
+		}
+		for _, r := range rules {
+			if !validRuleToken(r) {
+				t.Fatalf("accepted invalid rule %q from %q", r, text)
+			}
+		}
+		if !utf8.ValidString(text) {
+			return // reason round-trips only for valid UTF-8 input
+		}
+		// Accepted directives re-render into a directive that parses to
+		// the same rule list.
+		rendered := directiveText(&directive{rules: rules, reason: reason})
+		rules2, _, ok2, err2 := ParseIgnoreDirective(rendered)
+		if !ok2 || err2 != nil {
+			t.Fatalf("rendering %q -> %q does not re-parse (ok=%v err=%v)", text, rendered, ok2, err2)
+		}
+		if !reflect.DeepEqual(rules, rules2) {
+			t.Fatalf("rules round-trip %v -> %v via %q", rules, rules2, rendered)
+		}
+	})
+}

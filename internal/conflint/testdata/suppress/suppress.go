@@ -1,0 +1,96 @@
+// Package suppress seeds the suppression-directive scopes the lint must
+// honor: a constructor-scoped directive in a doc comment, a line-scoped
+// directive above an allocation, and directives that match nothing (one
+// stale, one malformed) which the lint must itself report. The lint's
+// tests parse and interpret this package; the go tool never compiles it
+// (testdata is ignored).
+package suppress
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/objfile"
+	"repro/internal/trace"
+)
+
+// Program mirrors the workload surface the lint interprets.
+type Program struct {
+	Name      string
+	Binary    *objfile.Binary
+	Arena     *alloc.Arena
+	runThread func(tid, threads int, sink trace.Sink)
+}
+
+// Quiet re-walks one column of a power-of-two matrix, the §2 pathology,
+// on purpose: the layout is the fixture. Every rule is suppressed for
+// the whole constructor.
+//
+//ccprof:ignore static-conflict,pow2-stride,padfix the layout is the point of this fixture
+func Quiet() *Program {
+	b := objfile.NewBuilder("quiet")
+	b.Func("kernel")
+	b.Loop("quiet.c", 2)
+	b.Loop("quiet.c", 3)
+	ld := b.Load("quiet.c", 4)
+	b.EndLoop()
+	b.EndLoop()
+	bin := b.Finish()
+
+	ar := alloc.NewArena()
+	m := alloc.NewMatrix2D(ar, "m", 512, 512, 8, 0)
+	return &Program{
+		Name:   "quiet",
+		Binary: bin,
+		Arena:  ar,
+		runThread: func(tid, threads int, sink trace.Sink) {
+			if tid != 0 {
+				return
+			}
+			for t := 0; t < 8; t++ {
+				for i := 0; i < 512; i++ {
+					sink.Ref(trace.Ref{IP: ld, Addr: m.At(i, 0)})
+				}
+			}
+		},
+	}
+}
+
+// Loud is the same pathology with only the pad suggestion silenced at
+// its anchor line; the static-conflict and pow2-stride findings must
+// survive.
+func Loud() *Program {
+	b := objfile.NewBuilder("loud")
+	b.Func("kernel")
+	b.Loop("loud.c", 2)
+	b.Loop("loud.c", 3)
+	ld := b.Load("loud.c", 4)
+	b.EndLoop()
+	b.EndLoop()
+	bin := b.Finish()
+
+	ar := alloc.NewArena()
+	//ccprof:ignore padfix benchmarked: the pad regresses the TLB
+	m := alloc.NewMatrix2D(ar, "m", 512, 512, 8, 0)
+	return &Program{
+		Name:   "loud",
+		Binary: bin,
+		Arena:  ar,
+		runThread: func(tid, threads int, sink trace.Sink) {
+			if tid != 0 {
+				return
+			}
+			for t := 0; t < 8; t++ {
+				for i := 0; i < 512; i++ {
+					sink.Ref(trace.Ref{IP: ld, Addr: m.At(i, 0)})
+				}
+			}
+		},
+	}
+}
+
+// The next two directives match nothing and must be reported as
+// unused-suppression findings: the first is stale, the second does not
+// parse (rule names are lowercase kebab-case).
+//
+//ccprof:ignore aliasing-bases stale, the aliased pair was removed
+//ccprof:ignore Not_A_Rule
+var _ = 0

@@ -228,6 +228,7 @@ func TestConflintJSON(t *testing.T) {
 			Kind        string  `json:"kind"`
 			Severity    string  `json:"severity"`
 			PredictedCF float64 `json:"predicted_cf"`
+			Fingerprint string  `json:"fingerprint"`
 		} `json:"findings"`
 	}
 	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
@@ -247,8 +248,13 @@ func TestConflintJSON(t *testing.T) {
 				t.Errorf("high-severity finding %s/%s has predicted cf %.2f < 0.7", f.Kernel, f.Kind, f.PredictedCF)
 			}
 		}
-		if f.Kind != "static-conflict" && (f.File == "" || f.Line == 0) {
+		// Whole-kernel rules carry no kernel-space loop coordinate; every
+		// per-access finding must.
+		if f.Kind != "static-conflict" && f.Kind != "padfix" && (f.File == "" || f.Line == 0) {
 			t.Errorf("per-access finding %s/%s is missing file/line", f.Kernel, f.Kind)
+		}
+		if f.Fingerprint == "" {
+			t.Errorf("finding %s/%s has no fingerprint", f.Kernel, f.Kind)
 		}
 	}
 	if !sawHigh {
@@ -286,6 +292,232 @@ func TestConflintBaseline(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "new finding not in baseline") {
 		t.Errorf("stderr does not name the new findings: %q", stderr)
+	}
+}
+
+// copyDir clones a fixture directory into a fresh temp dir.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := filepath.Join(t.TempDir(), filepath.Base(src))
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestConflintSARIF drives the SARIF mode end to end: a valid 2.1.0
+// document with the rule catalog, results, and a padfix fix, and
+// byte-identical output across runs and -j settings.
+func TestConflintSARIF(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "specgen", "testdata", "pathological")
+	stdout, stderr, exit := run(t, "conflint", "-sarif", dir)
+	if exit != 0 {
+		t.Fatalf("conflint -sarif: exit %d, stderr %q", exit, stderr)
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+				Level  string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("conflint -sarif output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || doc.Runs[0].Tool.Driver.Name != "conflint" {
+		t.Fatalf("not a conflint SARIF 2.1.0 document: version %q", doc.Version)
+	}
+	if len(doc.Runs[0].Tool.Driver.Rules) == 0 || len(doc.Runs[0].Results) == 0 {
+		t.Fatal("SARIF document has no rules or no results")
+	}
+	sawPadfix := false
+	for _, r := range doc.Runs[0].Results {
+		if r.RuleID == "padfix" {
+			sawPadfix = true
+		}
+	}
+	if !sawPadfix {
+		t.Error("SARIF results are missing the padfix finding")
+	}
+
+	again, _, _ := run(t, "conflint", "-sarif", dir)
+	if again != stdout {
+		t.Error("-sarif output differs between runs")
+	}
+	j4, _, _ := run(t, "conflint", "-sarif", "-j", "4", dir)
+	if j4 != stdout {
+		t.Error("-sarif output differs under -j 4")
+	}
+}
+
+// TestConflintFixDryRun runs -fix -diff against a copy and checks the
+// dry-run contract: a unified diff on stdout, exit 0, tree untouched.
+func TestConflintFixDryRun(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := copyDir(t, filepath.Join(root, "internal", "specgen", "testdata", "pathological"))
+	path := filepath.Join(dir, "pathological.go")
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, exit := run(t, "conflint", "-fix", "-diff", dir)
+	if exit != 0 {
+		t.Fatalf("conflint -fix -diff: exit %d, stderr %q", exit, stderr)
+	}
+	for _, w := range []string{"--- ", "+++ ", "@@ ", "dry run, tree untouched"} {
+		if !strings.Contains(stdout, w) {
+			t.Errorf("-fix -diff output is missing %q:\n%s", w, stdout)
+		}
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("-fix -diff modified the tree")
+	}
+}
+
+// TestConflintFixClean: on the clean fixture there is nothing to fix;
+// -fix -diff prints no hunks and leaves the tree alone.
+func TestConflintFixClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := copyDir(t, filepath.Join(root, "internal", "specgen", "testdata", "clean"))
+	stdout, stderr, exit := run(t, "conflint", "-fix", "-diff", dir)
+	if exit != 0 {
+		t.Fatalf("conflint -fix -diff on clean fixture: exit %d, stderr %q", exit, stderr)
+	}
+	if strings.Contains(stdout, "@@ ") {
+		t.Errorf("clean fixture produced a diff:\n%s", stdout)
+	}
+}
+
+// TestConflintFixApplies is the acceptance path at the process level:
+// -fix on a pathological copy, then a re-run whose -json document has
+// zero static-conflict and padfix findings and no finding at or above
+// the conflict threshold.
+func TestConflintFixApplies(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := copyDir(t, filepath.Join(root, "internal", "specgen", "testdata", "pathological"))
+	stdout, stderr, exit := run(t, "conflint", "-fix", dir)
+	if exit != 0 {
+		t.Fatalf("conflint -fix: exit %d, stderr %q", exit, stderr)
+	}
+	if !strings.Contains(stdout, "applied") {
+		t.Errorf("-fix did not report applied fixes:\n%s", stdout)
+	}
+
+	stdout, stderr, exit = run(t, "conflint", "-json", dir)
+	if exit != 0 {
+		t.Fatalf("re-lint after fix: exit %d, stderr %q", exit, stderr)
+	}
+	var doc struct {
+		Kernels  int `json:"kernels"`
+		Findings []struct {
+			Kind        string  `json:"kind"`
+			PredictedCF float64 `json:"predicted_cf"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Kernels != 3 {
+		t.Fatalf("fixed fixture lints %d kernels, want 3", doc.Kernels)
+	}
+	for _, f := range doc.Findings {
+		if f.Kind == "static-conflict" || f.Kind == "padfix" {
+			t.Errorf("%s finding survived -fix", f.Kind)
+		}
+		if f.PredictedCF >= 0.25 {
+			t.Errorf("finding %s still predicts CF %.2f >= 0.25 after -fix", f.Kind, f.PredictedCF)
+		}
+	}
+}
+
+// TestConflintUsageErrors pins the exit-code convention: conflicting
+// flag combinations are usage errors (exit 2) before any linting runs.
+func TestConflintUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-json", "-sarif", "."},
+		{"-fix", "-json", "."},
+		{"-fix", "-sarif", "."},
+		{"-fix", "-baseline", "x.json", "."},
+		{"-diff", "."},
+		{"-j", "0", "."},
+	} {
+		_, stderr, exit := run(t, "conflint", args...)
+		if exit != 2 {
+			t.Errorf("conflint %v: exit %d, want 2 (stderr %q)", args, exit, stderr)
+		}
+		if stderr == "" {
+			t.Errorf("conflint %v: no usage message on stderr", args)
+		}
+	}
+}
+
+// TestConflintCache: a second run against a warm cache must produce
+// byte-identical output.
+func TestConflintCache(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "specgen", "testdata", "pathological")
+	cache := t.TempDir()
+	cold, stderr, exit := run(t, "conflint", "-cache", cache, "-json", dir)
+	if exit != 0 {
+		t.Fatalf("cold cached run: exit %d, stderr %q", exit, stderr)
+	}
+	entries, err := os.ReadDir(cache)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache dir not populated (err %v)", err)
+	}
+	warm, stderr, exit := run(t, "conflint", "-cache", cache, "-json", dir)
+	if exit != 0 {
+		t.Fatalf("warm cached run: exit %d, stderr %q", exit, stderr)
+	}
+	if cold != warm {
+		t.Error("cached output differs from cold run")
 	}
 }
 

@@ -2,131 +2,103 @@ package specgen
 
 import (
 	"fmt"
-	"sort"
 
-	"repro/internal/analytic"
 	"repro/internal/mem"
-	"repro/internal/staticconf"
 )
 
-// Finding kinds reported by the conflict lint.
-const (
-	// FindingStaticConflict: the static analyzer predicts a cache-set
-	// conflict for the extracted spec — the authoritative signal.
-	FindingStaticConflict = "static-conflict"
-	// FindingPow2Stride: a loop dimension walks a power-of-two stride
-	// that revisits a handful of sets far beyond associativity.
-	FindingPow2Stride = "pow2-stride"
-	// FindingSetCamping: as above with a non-power-of-two stride (row
-	// sizes whose gcd with the set span is still large).
-	FindingSetCamping = "set-camping"
-	// FindingAliasingBases: distinct arrays whose bases map to the same
-	// set march in lockstep through a span-multiple stride, so every
-	// iteration stacks their lines on one set.
-	FindingAliasingBases = "aliasing-bases"
-)
-
-// Finding is one conflict-prone pattern in one extracted kernel.
-type Finding struct {
-	Ctor   string // constructor the kernel came from, e.g. "Hotspot" or "NewADI/Original"
-	Kernel string // kernel name the extraction reported
-	Array  string // offending array ("a, b" for pair findings, "" for whole-kernel findings)
-	Loop   string // innermost loop of the offending access, "" for whole-kernel findings
-	Kind   string
-	Detail string
-	// PredictedCF is the closed-form analytic model's predicted
-	// contribution factor for the whole kernel — how much of the miss
-	// stream the conflict signature would claim if the pattern is real.
-	PredictedCF float64
-	// Severity buckets PredictedCF: high (≥ 0.7), medium (≥ 0.25),
-	// low otherwise.
-	Severity string
+// LintKernel is one kernel reachable from a niladic package-level
+// constructor, extracted for the conflict lint. The pattern checks
+// themselves live in internal/conflint; this side only interprets the
+// package and synthesizes specs.
+type LintKernel struct {
+	// Ctor is the constructor function name, Variant the case-study
+	// field the kernel came from ("Original"/"Optimized", "" for plain
+	// Program constructors). Label is "Ctor" or "Ctor/Variant", matching
+	// the labels in lint reports.
+	Ctor    string
+	Variant string
+	Label   string
+	Ex      *Extraction
 }
 
-func (f Finding) String() string {
-	loc := f.Kernel
-	if f.Loop != "" {
-		loc += " " + f.Loop
-	}
-	if f.Array != "" {
-		loc += " [" + f.Array + "]"
-	}
-	return fmt.Sprintf("%s: %s: %s: %s [severity %s, predicted cf %.0f%%]",
-		f.Ctor, loc, f.Kind, f.Detail, f.Severity, 100*f.PredictedCF)
-}
-
-// SeverityOf buckets a predicted contribution factor into the lint's
-// severity bands: a kernel whose conflict signature would dominate the
-// miss stream is high, one that merely crosses the conflict threshold
-// is medium, anything below is low.
-func SeverityOf(cf float64) string {
-	switch {
-	case cf >= 0.7:
-		return "high"
-	case cf >= 0.25:
-		return "medium"
-	default:
-		return "low"
-	}
-}
-
-// LintedKernel records one kernel the lint managed to extract and check.
-type LintedKernel struct {
-	Ctor     string
-	Kernel   string
-	Findings int
-}
-
-// LintReport is the outcome of linting one package directory.
-type LintReport struct {
-	Dir      string
-	Kernels  []LintedKernel
-	Findings []Finding
+// LintSet is everything the lint extracted from one package directory:
+// the parsed package (kept for position lookup and source rewrites) and
+// its kernels.
+type LintSet struct {
+	Dir     string
+	Pkg     *Package
+	Kernels []LintKernel
 	// Skipped maps package-level functions that were not linted to the
 	// reason (parameters required, not a kernel constructor, ...).
 	Skipped map[string]string
 }
 
-// LintDir parses the package in dir and lints every kernel reachable from
-// a niladic package-level constructor: each function is interpreted with
-// the same machinery as spec extraction, and any Program or CaseStudy it
-// returns has its extracted spec checked for conflict-prone patterns.
-// Functions that take parameters or do not build kernels are skipped.
-func LintDir(dir string, g mem.Geometry) (*LintReport, error) {
+// LintLoad parses the package in dir and extracts every kernel reachable
+// from a niladic package-level constructor: each function is interpreted
+// with the same machinery as spec extraction, and any Program or
+// CaseStudy it returns is synthesized into an affine spec. Functions
+// that take parameters or do not build kernels are skipped.
+func LintLoad(dir string, g mem.Geometry) (*LintSet, error) {
 	p, err := Load(dir)
 	if err != nil {
 		return nil, err
 	}
-	rep := &LintReport{Dir: dir, Skipped: map[string]string{}}
+	set := &LintSet{Dir: dir, Pkg: p}
+	set.Kernels, set.Skipped = p.LintKernels(g)
+	return set, nil
+}
+
+// LintKernels interprets every niladic package-level constructor and
+// returns the extracted kernels plus the skip reasons for everything
+// else.
+func (p *Package) LintKernels(g mem.Geometry) ([]LintKernel, map[string]string) {
+	var kernels []LintKernel
+	skipped := map[string]string{}
 	for _, name := range p.Funcs() {
 		fd := p.funcs[name]
 		if fd.Type.Params != nil && len(fd.Type.Params.List) > 0 {
-			rep.Skipped[name] = "takes parameters; lint covers niladic constructors"
+			skipped[name] = "takes parameters; lint covers niladic constructors"
 			continue
 		}
-		exs, why := p.lintExtract(g, name)
+		exs, why := p.lintExtract(g, name, 0, 1)
 		if why != "" {
-			rep.Skipped[name] = why
+			skipped[name] = why
 			continue
 		}
-		for _, le := range exs {
-			fs := lintExtraction(le.label, le.ex, g)
-			rep.Kernels = append(rep.Kernels, LintedKernel{Ctor: le.label, Kernel: le.ex.Kernel, Findings: len(fs)})
-			rep.Findings = append(rep.Findings, fs...)
-		}
+		kernels = append(kernels, exs...)
 	}
-	return rep, nil
+	return kernels, skipped
 }
 
-type lintedExtraction struct {
-	label string
-	ex    *Extraction
+// ExtractKernel re-extracts one kernel by constructor and variant, as
+// returned in LintKernel. It is the re-scoring hook for source rewrites:
+// load the package with an overlay, then extract the same kernel again.
+func (p *Package) ExtractKernel(g mem.Geometry, ctor, variant string) (*Extraction, error) {
+	return p.ExtractKernelTid(g, ctor, variant, 0, 1)
+}
+
+// ExtractKernelTid extracts one kernel's spec as seen by thread tid of
+// threads: runThread is interpreted with those concrete arguments, so a
+// kernel that partitions work by tid yields the per-thread access spec.
+// The false-sharing analyzer compares these across tids.
+func (p *Package) ExtractKernelTid(g mem.Geometry, ctor, variant string, tid, threads int) (*Extraction, error) {
+	exs, why := p.lintExtract(g, ctor, tid, threads)
+	if why != "" {
+		return nil, fmt.Errorf("specgen: %s: %s", ctor, why)
+	}
+	for _, k := range exs {
+		if k.Variant == variant {
+			return k.Ex, nil
+		}
+	}
+	return nil, fmt.Errorf("specgen: %s has no variant %q", ctor, variant)
 }
 
 // lintExtract interprets one niladic constructor and extracts every
-// Program it yields. The interpreter is exercised on arbitrary package
-// code here, so a panic is downgraded to a skip reason.
-func (p *Package) lintExtract(g mem.Geometry, ctor string) (out []lintedExtraction, why string) {
+// Program it yields, running runThread as thread tid of threads. The
+// interpreter is exercised on arbitrary package code here, so a panic is
+// downgraded to a skip reason.
+func (p *Package) lintExtract(g mem.Geometry, ctor string, tid, threads int) (out []LintKernel, why string) {
 	defer func() {
 		if r := recover(); r != nil {
 			out, why = nil, fmt.Sprintf("interpreter panic: %v", r)
@@ -138,136 +110,25 @@ func (p *Package) lintExtract(g mem.Geometry, ctor string) (out []lintedExtracti
 		return nil, fmt.Sprintf("not a kernel constructor: %v", err)
 	}
 	if _, isProg := st.fields["runThread"].(*vClosure); isProg {
-		ex, err := in.extractFromProgram(st, g, ctor)
+		ex, err := in.extractFromProgramTid(st, g, ctor, tid, threads)
 		if err != nil {
 			return nil, err.Error()
 		}
-		return []lintedExtraction{{ctor, ex}}, ""
+		return []LintKernel{{Ctor: ctor, Label: ctor, Ex: ex}}, ""
 	}
 	for _, part := range []string{"Original", "Optimized"} {
 		prog, ok := st.fields[part].(*vStruct)
 		if !ok {
 			continue
 		}
-		ex, err := in.extractFromProgram(prog, g, ctor)
+		ex, err := in.extractFromProgramTid(prog, g, ctor, tid, threads)
 		if err != nil {
 			return nil, err.Error()
 		}
-		out = append(out, lintedExtraction{ctor + "/" + part, ex})
+		out = append(out, LintKernel{Ctor: ctor, Variant: part, Label: ctor + "/" + part, Ex: ex})
 	}
 	if len(out) == 0 {
 		return nil, "returns neither a Program nor a CaseStudy"
 	}
 	return out, ""
-}
-
-// lintExtraction runs the pattern checks over one extracted kernel.
-func lintExtraction(label string, ex *Extraction, g mem.Geometry) []Finding {
-	var out []Finding
-	if ex.Spec == nil {
-		return nil
-	}
-	// Tier-0 severity estimate: the closed-form model prices every
-	// finding of the kernel with its predicted contribution factor.
-	var predCF float64
-	if ar, err := analytic.Analyze(ex.Spec, g, analytic.Options{}); err == nil {
-		predCF = ar.PredictedCF
-	}
-	add := func(array, loop, kind, detail string) {
-		out = append(out, Finding{Ctor: label, Kernel: ex.Kernel, Array: array, Loop: loop,
-			Kind: kind, Detail: detail, PredictedCF: predCF, Severity: SeverityOf(predCF)})
-	}
-
-	// Authoritative check: the static conflict analyzer on the whole spec.
-	if r, err := staticconf.Analyze(ex.Spec, g, staticconf.Options{}); err == nil && r.Conflict {
-		add("", "", FindingStaticConflict, r.Reason)
-	}
-
-	// Per-dimension camping: strides whose walk revisits few sets many
-	// more times than associativity covers.
-	span := int64(g.Sets * g.LineSize)
-	seen := map[string]bool{}
-	for _, a := range ex.Spec.Accesses {
-		for _, d := range a.Dims {
-			distinct, lines := campingSets(a.Base, d, g)
-			if distinct == 0 {
-				continue
-			}
-			if distinct > g.Sets/4 || lines/distinct <= g.Ways {
-				continue
-			}
-			kind := FindingSetCamping
-			if d.Stride&(d.Stride-1) == 0 {
-				kind = FindingPow2Stride
-			}
-			key := fmt.Sprintf("%s|%s|%s", a.Array, a.Loop, kind)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			add(a.Array, a.Loop, kind, fmt.Sprintf(
-				"stride %d walks %d lines over only %d/%d sets (%d lines per set, %d ways)",
-				d.Stride, lines, distinct, g.Sets, lines/distinct, g.Ways))
-		}
-	}
-
-	// Aliasing bases: distinct arrays, same loop, bases in the same set,
-	// identical dims, and a span-multiple stride — the lockstep walk
-	// lands every iteration's lines on one set.
-	for i, a := range ex.Spec.Accesses {
-		for _, b := range ex.Spec.Accesses[i+1:] {
-			if a.Array == b.Array || a.Loop != b.Loop {
-				continue
-			}
-			if setOf(a.Base, g) != setOf(b.Base, g) || !sameDims(a.Dims, b.Dims) {
-				continue
-			}
-			if !hasSpanMultipleDim(a.Dims, span) {
-				continue
-			}
-			pair := a.Array + ", " + b.Array
-			key := fmt.Sprintf("%s|%s|%s", pair, a.Loop, FindingAliasingBases)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			add(pair, a.Loop, FindingAliasingBases, fmt.Sprintf(
-				"bases %#x and %#x share set %d and march in lockstep on a set-span stride",
-				a.Base, b.Base, setOf(a.Base, g)))
-		}
-	}
-
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
-	return out
-}
-
-// campingSets walks one dimension (capped at one full set-pattern period)
-// and reports how many distinct sets and lines it touches. Dimensions that
-// cannot camp (sub-line strides, trips the associativity covers) report 0.
-func campingSets(base uint64, d staticconf.Dim, g mem.Geometry) (distinct, lines int) {
-	if d.Stride < int64(g.LineSize) || d.Trip < 2*g.Ways {
-		return 0, 0
-	}
-	steps := d.Trip
-	if steps > 4096 {
-		steps = 4096 // set patterns repeat within span/gcd(stride, span) ≤ 4096 steps
-	}
-	sets := map[int]bool{}
-	for k := 0; k < steps; k++ {
-		sets[setOf(base+uint64(k)*uint64(d.Stride), g)] = true
-	}
-	return len(sets), steps
-}
-
-func setOf(addr uint64, g mem.Geometry) int {
-	return int(addr/uint64(g.LineSize)) % g.Sets
-}
-
-func hasSpanMultipleDim(dims []staticconf.Dim, span int64) bool {
-	for _, d := range dims {
-		if d.Stride != 0 && d.Trip >= 2 && d.Stride%span == 0 {
-			return true
-		}
-	}
-	return false
 }

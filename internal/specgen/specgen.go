@@ -28,7 +28,14 @@ type Package struct {
 }
 
 // Load parses the non-test Go files of dir into a Package.
-func Load(dir string) (*Package, error) {
+func Load(dir string) (*Package, error) { return LoadOverlay(dir, nil) }
+
+// LoadOverlay is Load with an in-memory overlay: for file base names
+// present in overlay, the given contents are parsed instead of the
+// on-disk bytes. The conflict lint's pad-fix search uses this to
+// re-extract a kernel from a candidate source edit without touching the
+// tree. An overlay name not present on disk is ignored.
+func LoadOverlay(dir string, overlay map[string][]byte) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("specgen: %w", err)
@@ -49,7 +56,11 @@ func Load(dir string) (*Package, error) {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		f, err := parser.ParseFile(p.fset, filepath.Join(dir, n), nil, parser.SkipObjectResolution)
+		var src any
+		if o, ok := overlay[n]; ok {
+			src = o
+		}
+		f, err := parser.ParseFile(p.fset, filepath.Join(dir, n), src, parser.SkipObjectResolution|parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("specgen: parse %s: %w", n, err)
 		}
@@ -95,6 +106,19 @@ func Load(dir string) (*Package, error) {
 }
 
 func (p *Package) structType(name string) *ast.StructType { return p.structs[name] }
+
+// Fset returns the file set positions of the parsed files resolve
+// against; Files the parsed files themselves. The conflict lint uses
+// both to anchor diagnostics and suggested fixes at real source
+// positions.
+func (p *Package) Fset() *token.FileSet { return p.fset }
+
+// Files returns the parsed files of the package, in file-name order.
+func (p *Package) Files() []*ast.File { return p.files }
+
+// FuncDecl returns the declaration of the named package-level function,
+// or nil.
+func (p *Package) FuncDecl(name string) *ast.FuncDecl { return p.funcs[name] }
 
 // Funcs returns the names of the package-level functions, sorted.
 func (p *Package) Funcs() []string {
@@ -326,6 +350,12 @@ func (in *interp) callCtor(ctor string, args []int) (*vStruct, error) {
 }
 
 func (in *interp) extractFromProgram(prog *vStruct, g mem.Geometry, ctor string) (*Extraction, error) {
+	return in.extractFromProgramTid(prog, g, ctor, 0, 1)
+}
+
+// extractFromProgramTid interprets runThread as thread tid of threads —
+// the per-thread view a false-sharing check compares across tids.
+func (in *interp) extractFromProgramTid(prog *vStruct, g mem.Geometry, ctor string, tid, threads int) (*Extraction, error) {
 	name := ctor
 	if s, ok := prog.fields["Name"].(vStr); ok {
 		name = string(s)
@@ -340,7 +370,7 @@ func (in *interp) extractFromProgram(prog *vStruct, g mem.Geometry, ctor string)
 	}
 	in.events = nil
 	notesBefore := len(in.notes)
-	if _, err := in.callClosure(rt, []value{vInt(0), vInt(1), vSink{}}); err != nil {
+	if _, err := in.callClosure(rt, []value{vInt(int64(tid)), vInt(int64(threads)), vSink{}}); err != nil {
 		return nil, fmt.Errorf("specgen: %s: runThread: %w", name, err)
 	}
 	ex := synthesize(name, in.events, arena, g)

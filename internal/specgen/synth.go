@@ -129,6 +129,7 @@ func synthesize(kernel string, events []refEvent, arena *vArena, g mem.Geometry)
 			Elem:   r.elem,
 			Dims:   dims,
 			Window: inferWindow(dims, budget(r.ip.loop)),
+			Write:  r.write,
 		})
 	}
 	ex.Spec = spec

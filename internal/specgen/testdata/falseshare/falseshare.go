@@ -1,0 +1,73 @@
+// Package falseshare seeds the cross-thread layouts the false-sharing
+// analyzer must separate: per-thread counters packed eight bytes apart
+// on one cache line (flagged), and the same counters padded out to a
+// line each (clean). The lint's tests parse and interpret this package;
+// the go tool never compiles it (testdata is ignored).
+package falseshare
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/objfile"
+	"repro/internal/trace"
+)
+
+// Program mirrors the workload surface the lint interprets.
+type Program struct {
+	Name      string
+	Binary    *objfile.Binary
+	Arena     *alloc.Arena
+	runThread func(tid, threads int, sink trace.Sink)
+}
+
+// SharedCounters packs one 8-byte counter per thread into a single
+// cache line; every thread's increment invalidates the line for all the
+// others even though no set conflict exists.
+func SharedCounters() *Program {
+	b := objfile.NewBuilder("sharedcounters")
+	b.Func("kernel")
+	b.Loop("sharedcounters.c", 2)
+	ld := b.Load("sharedcounters.c", 3)
+	st := b.Store("sharedcounters.c", 3)
+	b.EndLoop()
+	bin := b.Finish()
+
+	ar := alloc.NewArena()
+	c := alloc.NewVector(ar, "counters", 16, 8)
+	return &Program{
+		Name:   "sharedcounters",
+		Binary: bin,
+		Arena:  ar,
+		runThread: func(tid, threads int, sink trace.Sink) {
+			for t := 0; t < 1024; t++ {
+				sink.Ref(trace.Ref{IP: ld, Addr: c.At(tid)})
+				sink.Ref(trace.Ref{IP: st, Addr: c.At(tid), Write: true})
+			}
+		},
+	}
+}
+
+// PaddedCounters gives each thread's counter its own cache line; the
+// layout costs 64 bytes per thread and eliminates the ping-pong.
+func PaddedCounters() *Program {
+	b := objfile.NewBuilder("paddedcounters")
+	b.Func("kernel")
+	b.Loop("paddedcounters.c", 2)
+	ld := b.Load("paddedcounters.c", 3)
+	st := b.Store("paddedcounters.c", 3)
+	b.EndLoop()
+	bin := b.Finish()
+
+	ar := alloc.NewArena()
+	c := alloc.NewVector(ar, "counters", 16, 64)
+	return &Program{
+		Name:   "paddedcounters",
+		Binary: bin,
+		Arena:  ar,
+		runThread: func(tid, threads int, sink trace.Sink) {
+			for t := 0; t < 1024; t++ {
+				sink.Ref(trace.Ref{IP: ld, Addr: c.At(tid)})
+				sink.Ref(trace.Ref{IP: st, Addr: c.At(tid), Write: true})
+			}
+		},
+	}
+}

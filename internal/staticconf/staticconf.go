@@ -78,6 +78,10 @@ type Access struct {
 	// accesses by volume only, since no affine extractor can reproduce
 	// them from source.
 	Approx bool
+	// Write marks a store. The conflict analysis is read/write agnostic
+	// (a line occupies its set either way); the false-sharing check is
+	// not — only written lines invalidate across cores.
+	Write bool
 }
 
 // Spec is the full affine access specification of one kernel variant.
