@@ -103,6 +103,19 @@ type (
 	AnalyticReport = analytic.Report
 	// TierPolicy selects the static pruning tiers of the advisor cascade.
 	TierPolicy = advisor.TierPolicy
+	// StreamAnalyzer consumes PMU samples online and produces the same
+	// Analysis as the buffered pipeline in O(contexts x sets) memory.
+	StreamAnalyzer = core.StreamAnalyzer
+	// TraceProfileOptions configures sharded profiling of a recorded
+	// framed trace (ProfileTrace).
+	TraceProfileOptions = core.TraceProfileOptions
+	// TraceWriter encodes a reference stream into the framed binary trace
+	// format (CCTB): independently decodable, seekable frames.
+	TraceWriter = trace.TraceWriter
+	// TraceReader decodes a framed binary trace block by block.
+	TraceReader = trace.TraceReader
+	// StreamPos is a frame-aligned resume point inside a framed trace.
+	StreamPos = trace.StreamPos
 )
 
 // ProfileProgram runs the workload under the simulated PMU (the online
@@ -125,6 +138,56 @@ func ProfileAndAnalyze(p *Program, popts ProfileOptions, aopts AnalyzeOptions) (
 		return nil, err
 	}
 	return core.Analyze(prof, p.Binary, p.Arena, aopts)
+}
+
+// ProfileStream fuses both phases into one streaming pass: every sample is
+// consumed by the online analyzer the moment the simulated PMU raises it,
+// nothing is buffered, and memory stays O(contexts x sets) regardless of
+// how long the workload runs. The Analysis is byte-identical to the
+// two-phase ProfileProgram+Analyze pipeline for the same options and seed.
+// The returned Profile carries the usual counters but no sample buffers
+// (SampleCount still reports the online-consumed total).
+func ProfileStream(p *Program, popts ProfileOptions, aopts AnalyzeOptions) (*Profile, *Analysis, error) {
+	return core.ProfileStream(p, popts, aopts)
+}
+
+// NewStreamAnalyzer builds a standalone online analyzer for callers that
+// drive their own samplers: wire HandlerFor(tid) into a pmu sampler per
+// thread, then Finish to obtain the Analysis. ProfileStream is the packaged
+// version of this pattern.
+func NewStreamAnalyzer(bin *Binary, arena *Arena, g Geometry, threads, burst int, opts AnalyzeOptions) (*StreamAnalyzer, error) {
+	if g.Sets == 0 {
+		g = mem.L1Default()
+	}
+	return core.NewStreamAnalyzer(bin, arena, g, threads, burst, opts)
+}
+
+// ProfileTrace profiles a recorded framed trace (see NewTraceWriter)
+// instead of a live workload, sharded over frame-aligned segments that run
+// in parallel on the sweep executor and — with a parsim checkpoint — resume
+// after interruption without re-profiling completed segments. open must
+// return a fresh reader of the trace on each call.
+func ProfileTrace(name string, open func() (io.ReadSeeker, error), opts TraceProfileOptions) (*Profile, error) {
+	return core.ProfileTrace(name, open, opts)
+}
+
+// NewTraceWriter starts a framed binary trace (format CCTB) on w with the
+// given references-per-frame (0 selects trace.DefaultBlock). Frames are
+// independently decodable, so the trace supports O(1) seeking to any frame
+// boundary and checkpointed resume. Close flushes the final partial frame.
+func NewTraceWriter(w io.Writer, refsPerFrame int) *TraceWriter {
+	return trace.NewTraceWriter(w, refsPerFrame)
+}
+
+// NewTraceReader opens a framed binary trace for block-by-block iteration;
+// see TraceReader.Next, Replay, and ScanIndex.
+func NewTraceReader(r io.Reader) (*TraceReader, error) { return trace.NewTraceReader(r) }
+
+// ResumeTraceReader reopens a framed trace at a position previously
+// captured with TraceReader.Pos — the primitive behind checkpointed trace
+// profiling.
+func ResumeTraceReader(rs io.ReadSeeker, pos StreamPos) (*TraceReader, error) {
+	return trace.ResumeTraceReader(rs, pos)
 }
 
 // Workload builds a named paper case study at its default scale; see

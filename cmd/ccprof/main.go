@@ -15,6 +15,7 @@
 //	ccprof -variant optimized adi # confirm padding removed the conflicts
 //	ccprof -period 31 himeno      # short conflict periods need fast sampling
 //	ccprof -static adi            # static affine verdict next to the dynamic one
+//	ccprof -stream -threads 8 nw  # fused online pipeline, bounded memory, same report
 //	ccprof -analytic adi          # closed-form tier-0 verdict, no replay at all
 //	ccprof -advise -j 8 nw        # parallel pad sweep; output identical at any -j
 package main
@@ -42,6 +43,7 @@ func main() {
 		threshold   = flag.Int("threshold", ccprof.RCDThreshold, "short-RCD threshold T")
 		variant     = flag.String("variant", "original", "workload variant: original or optimized")
 		threads     = flag.Int("threads", 1, "threads to profile")
+		stream      = flag.Bool("stream", false, "fused streaming mode: analyze samples online, buffer nothing (bounded memory)")
 		seed        = flag.Int64("seed", 1, "sampling RNG seed")
 		profileOut  = flag.String("profile-out", "", "also write the raw profile to this file")
 		analyzeIn   = flag.String("analyze", "", "skip profiling; analyze this saved profile file")
@@ -166,7 +168,40 @@ func main() {
 	}
 
 	var prof *ccprof.Profile
-	if *analyzeIn != "" {
+	var an *ccprof.Analysis
+	if *stream {
+		if *analyzeIn != "" {
+			usageError("-stream profiles live; it cannot analyze a saved profile (-analyze)")
+		}
+		if *profileOut != "" {
+			usageError("-stream buffers no samples, so there is no profile to save (-profile-out)")
+		}
+		p := *period
+		if p == 0 {
+			p = cs.ProfilePeriod
+		}
+		prof, an, err = ccprof.ProfileStream(prog, ccprof.ProfileOptions{
+			Period:  pmu.Uniform(p),
+			Seed:    *seed,
+			Threads: *threads,
+			Faults:  faults,
+		}, ccprof.AnalyzeOptions{Threshold: *threshold})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("streamed %s: %d refs, %d L1-miss events, %d samples analyzed online (mean period %.0f), nothing buffered\n",
+			prog.Name, prof.Refs, prof.Events, prof.SampleCount(), prof.PeriodMean)
+		if prof.Degraded() {
+			note := report.DegradedNote{
+				SamplesDropped: prof.FaultDropped + prof.FaultTruncated,
+				SamplesAltered: prof.FaultCorrupted,
+			}
+			if err := note.Write(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println()
+	} else if *analyzeIn != "" {
 		f, err := os.Open(*analyzeIn)
 		if err != nil {
 			fatal(err)
@@ -218,9 +253,11 @@ func main() {
 		fmt.Printf("wrote profile to %s\n\n", *profileOut)
 	}
 
-	an, err := ccprof.Analyze(prof, prog.Binary, prog.Arena, ccprof.AnalyzeOptions{Threshold: *threshold})
-	if err != nil {
-		fatal(err)
+	if an == nil {
+		an, err = ccprof.Analyze(prof, prog.Binary, prog.Arena, ccprof.AnalyzeOptions{Threshold: *threshold})
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *jsonOut {
 		if err := writeJSON(os.Stdout, an); err != nil {

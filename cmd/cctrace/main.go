@@ -2,14 +2,22 @@
 //
 // Usage:
 //
-//	cctrace -stats FILE              # summarize a trace (either format)
-//	cctrace -in FILE -out FILE       # convert; -compress picks the format
-//	cctrace -head N -stats FILE      # only the first N references
+//	cctrace -stats FILE                     # summarize a trace (any binary format)
+//	cctrace -dump FILE                      # print decoded references as text
+//	cctrace -in FILE -out FILE              # convert; -format picks flat|compressed|framed
+//	cctrace -jsonl -in S.jsonl -out S.cct   # ingest perf-script style JSONL
+//	cctrace -head N -stats FILE             # only the first N references
+//
+// The framed format (-format framed) is the streaming profiler's native
+// input: frames are independently decodable, so ccprof's trace mode can
+// shard the file at frame boundaries and resume a partially consumed trace
+// from a checkpoint.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/mem"
@@ -19,20 +27,31 @@ import (
 func main() {
 	var (
 		statsIn  = flag.String("stats", "", "print summary statistics of this trace")
+		dumpIn   = flag.String("dump", "", "print this trace's decoded references as text")
 		in       = flag.String("in", "", "convert: input trace")
 		out      = flag.String("out", "", "convert: output trace")
-		compress = flag.Bool("compress", false, "convert: write the compressed format")
+		format   = flag.String("format", "flat", "convert: output format: flat, compressed, or framed")
+		compress = flag.Bool("compress", false, "convert: shorthand for -format compressed")
+		frame    = flag.Int("frame", 0, "framed output: references per frame (0 = the default block size)")
+		jsonl    = flag.Bool("jsonl", false, "input is perf-script style JSONL, one record per line")
 		head     = flag.Uint64("head", 0, "process only the first N references (0 = all)")
 	)
 	flag.Parse()
 
+	if *compress {
+		*format = "compressed"
+	}
 	switch {
 	case *statsIn != "":
-		if err := printStats(*statsIn, *head); err != nil {
+		if err := printStats(os.Stdout, *statsIn, *jsonl, *head); err != nil {
+			fatal(err)
+		}
+	case *dumpIn != "":
+		if err := dump(os.Stdout, *dumpIn, *jsonl, *head); err != nil {
 			fatal(err)
 		}
 	case *in != "" && *out != "":
-		if err := convert(*in, *out, *compress, *head); err != nil {
+		if err := convert(os.Stdout, *in, *out, *format, *jsonl, *frame, *head); err != nil {
 			fatal(err)
 		}
 	default:
@@ -41,20 +60,33 @@ func main() {
 	}
 }
 
-func printStats(path string, head uint64) error {
+// readTrace feeds path's references into sink, decoding JSONL when asked and
+// sniffing the binary format otherwise. It returns the reference count and,
+// for JSONL, the number of records skipped for lacking an address.
+func readTrace(path string, jsonl bool, head uint64, sink trace.Sink) (n int, skipped int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	defer f.Close()
+	if head > 0 {
+		sink = &trace.Limit{N: head, Next: sink}
+	}
+	if jsonl {
+		return trace.ReadJSONL(f, sink)
+	}
+	n, err = trace.ReadAny(f, sink)
+	return n, 0, err
+}
 
+func printStats(w io.Writer, path string, jsonl bool, head uint64) error {
 	geom := mem.L1Default()
 	var count trace.Counter
 	ips := map[uint64]uint64{}
 	sets := make([]uint64, geom.Sets)
 	var minAddr, maxAddr uint64 = ^uint64(0), 0
 
-	var sink trace.Sink = trace.SinkFunc(func(r trace.Ref) {
+	n, skipped, err := readTrace(path, jsonl, head, trace.SinkFunc(func(r trace.Ref) {
 		count.Ref(r)
 		ips[r.IP]++
 		sets[geom.Set(r.Addr)]++
@@ -64,20 +96,19 @@ func printStats(path string, head uint64) error {
 		if r.Addr > maxAddr {
 			maxAddr = r.Addr
 		}
-	})
-	if head > 0 {
-		sink = &trace.Limit{N: head, Next: sink}
-	}
-	n, err := trace.ReadAny(f, sink)
+	}))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("references: %d (%d reads, %d writes)\n", n, count.Reads, count.Writes)
+	fmt.Fprintf(w, "references: %d (%d reads, %d writes)\n", n, count.Reads, count.Writes)
+	if skipped > 0 {
+		fmt.Fprintf(w, "skipped: %d records without an address\n", skipped)
+	}
 	if count.Total() == 0 {
 		return nil
 	}
-	fmt.Printf("distinct IPs: %d\n", len(ips))
-	fmt.Printf("address range: [%#x, %#x] (%d bytes)\n", minAddr, maxAddr, maxAddr-minAddr+1)
+	fmt.Fprintf(w, "distinct IPs: %d\n", len(ips))
+	fmt.Fprintf(w, "address range: [%#x, %#x] (%d bytes)\n", minAddr, maxAddr, maxAddr-minAddr+1)
 	var used int
 	var maxSet uint64
 	for _, c := range sets {
@@ -88,39 +119,58 @@ func printStats(path string, head uint64) error {
 			maxSet = c
 		}
 	}
-	fmt.Printf("L1 sets touched (64-set view): %d/64, busiest share %.1f%%\n",
+	fmt.Fprintf(w, "L1 sets touched (64-set view): %d/64, busiest share %.1f%%\n",
 		used, 100*float64(maxSet)/float64(count.Total()))
 	return nil
 }
 
-func convert(inPath, outPath string, compress bool, head uint64) error {
-	fin, err := os.Open(inPath)
+// dump prints one line per decoded reference in a fixed, diff-friendly
+// layout — the format the golden tests pin.
+func dump(w io.Writer, path string, jsonl bool, head uint64) error {
+	i := 0
+	n, skipped, err := readTrace(path, jsonl, head, trace.SinkFunc(func(r trace.Ref) {
+		op := "read"
+		if r.Write {
+			op = "write"
+		}
+		fmt.Fprintf(w, "%8d  ip=%#012x  addr=%#012x  %s\n", i, r.IP, r.Addr, op)
+		i++
+	}))
 	if err != nil {
 		return err
 	}
-	defer fin.Close()
+	fmt.Fprintf(w, "references: %d\n", n)
+	if skipped > 0 {
+		fmt.Fprintf(w, "skipped: %d records without an address\n", skipped)
+	}
+	return nil
+}
+
+func convert(w io.Writer, inPath, outPath, format string, jsonl bool, frame int, head uint64) error {
 	fout, err := os.Create(outPath)
 	if err != nil {
 		return err
 	}
-	var w interface {
+	var sink interface {
 		trace.Sink
 		Close() error
 	}
-	if compress {
-		w = trace.NewCompressedWriter(fout)
-	} else {
-		w = trace.NewWriter(fout)
+	switch format {
+	case "flat":
+		sink = trace.NewWriter(fout)
+	case "compressed":
+		sink = trace.NewCompressedWriter(fout)
+	case "framed":
+		sink = trace.NewTraceWriter(fout, frame)
+	default:
+		fout.Close()
+		return fmt.Errorf("unknown output format %q (want flat, compressed, or framed)", format)
 	}
-	var sink trace.Sink = w
-	if head > 0 {
-		sink = &trace.Limit{N: head, Next: w}
-	}
-	n, err := trace.ReadAny(fin, sink)
+	n, skipped, err := readTrace(inPath, jsonl, head, sink)
 	if err != nil {
 		return err
 	}
-	if err := w.Close(); err != nil {
+	if err := sink.Close(); err != nil {
 		return err
 	}
 	if err := fout.Close(); err != nil {
@@ -130,7 +180,10 @@ func convert(inPath, outPath string, compress bool, head uint64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("converted %d references -> %s (%d bytes)\n", n, outPath, st.Size())
+	fmt.Fprintf(w, "converted %d references -> %s (%d bytes, %s)\n", n, outPath, st.Size(), format)
+	if skipped > 0 {
+		fmt.Fprintf(w, "skipped: %d records without an address\n", skipped)
+	}
 	return nil
 }
 

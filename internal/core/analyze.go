@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"slices"
 
 	"repro/internal/alloc"
@@ -148,6 +147,9 @@ type attrState struct {
 	funcSamples map[string]int
 	funcShort   map[string]int
 
+	// unattributed counts samples whose IP matched no recovered loop.
+	unattributed int
+
 	// states is a free list of loopState values: every state ever built by
 	// this attrState, reused in order. Entries are individually allocated so
 	// pointers held by byLoop stay stable as the list grows.
@@ -174,6 +176,7 @@ func (at *attrState) clear() {
 	clear(at.dataShort)
 	clear(at.funcSamples)
 	clear(at.funcShort)
+	at.unattributed = 0
 	for _, st := range at.states[:at.used] {
 		st.loop = nil
 		for i := range st.trackers {
@@ -249,6 +252,11 @@ func getCP(sets int) *rcd.CPTracker {
 // binary, attributes every sample to its innermost loop (code-centric) and
 // covering allocation (data-centric), approximates RCD distributions from
 // the sampled miss sequences, and classifies each loop.
+//
+// The per-sample work runs through the same streamState machine that backs
+// the online StreamAnalyzer (see stream.go): Analyze is the buffered replay
+// of that machine over Profile.Samples, so streaming and in-memory analyses
+// of the same sample sequences are identical by construction.
 func Analyze(prof *Profile, bin *objfile.Binary, arena *alloc.Arena, opts AnalyzeOptions) (*Analysis, error) {
 	if prof == nil {
 		return nil, ErrNilProfile
@@ -259,180 +267,71 @@ func Analyze(prof *Profile, bin *objfile.Binary, arena *alloc.Arena, opts Analyz
 	sp := obs.Default.Span("analyze")
 	defer sp.End()
 	obs.Default.Counter("analyze.runs").Inc()
-	o := opts.withDefaults()
 
-	graph := graphPool.Get()
-	if graph == nil {
-		graph = new(cfg.Graph)
+	ss, err := newStreamState(bin, arena, prof.Geom, len(prof.Samples), prof.Burst, opts)
+	if err != nil {
+		return nil, err
 	}
-	defer graphPool.Put(graph)
-	if err := graph.Rebuild(bin); err != nil {
-		return nil, fmt.Errorf("core: recovering CFG: %w", err)
-	}
-	forest := graph.FindLoops()
-
-	threads := len(prof.Samples)
-	at := attrPool.Get()
-	if at == nil {
-		at = newAttrState()
-	}
-	defer func() {
-		at.clear()
-		attrPool.Put(at)
-	}()
-	byLoop := at.byLoop
-	if cap(at.globals) < threads {
-		at.globals = make([]*rcd.CPTracker, threads)
-	}
-	globals := at.globals[:threads]
-	at.globals = globals
-	for t := range globals {
-		globals[t] = getCP(prof.Geom.Sets)
-	}
-	dataSamples := at.dataSamples
-	dataShort := at.dataShort
-	funcSamples := at.funcSamples
-	funcShort := at.funcShort
-
-	an := &Analysis{
-		Workload:  prof.Workload,
-		Threshold: o.Threshold,
-	}
-
-	burst := prof.Burst
 	for t, samples := range prof.Samples {
-		for si, sm := range samples {
-			// Bursty sampling: only within-burst sample distances are
-			// exact miss distances, so break every tracker's sequence
-			// at each burst boundary.
-			if burst > 1 && si%burst == 0 {
-				globals[t].BreakSequence()
-				for _, st := range byLoop {
-					st.trackers[t].BreakSequence()
-				}
-			}
-			an.TotalSamples++
-			set := prof.Geom.Set(sm.Addr)
-			d := globals[t].Observe(set)
-
-			// Data-centric attribution.
-			if arena != nil {
-				if blk, ok := arena.Find(sm.Addr); ok {
-					dataSamples[blk.Name]++
-					if d != rcd.NoPrior && d <= o.Threshold {
-						dataShort[blk.Name]++
-					}
-				}
-			}
-
-			// Function-level rollup.
-			if fn, ok := bin.FuncFor(sm.IP); ok {
-				funcSamples[fn.Name]++
-				if d != rcd.NoPrior && d <= o.Threshold {
-					funcShort[fn.Name]++
-				}
-			}
-
-			// Code-centric attribution.
-			loop := forest.InnermostAt(sm.IP)
-			if loop == nil {
-				an.Unattributed++
-				continue
-			}
-			st := byLoop[loop]
-			if st == nil {
-				st = at.takeLoopState(loop, threads)
-				for i := range st.trackers {
-					st.trackers[i] = getCP(prof.Geom.Sets)
-				}
-				byLoop[loop] = st
-			}
-			st.samples++
-			st.trackers[t].Observe(set)
+		for _, sm := range samples {
+			ss.sample(t, sm)
 		}
 	}
+	return ss.finish(prof.Workload), nil
+}
 
-	// Whole-program metrics: pool per-thread trackers.
-	pooledGlobal := poolTrackers(globals, o.Threshold)
-	an.CF = pooledGlobal.cf
-	an.CDF = pooledGlobal.cdf
-	an.Conflict = an.TotalSamples >= o.MinLoopSamples && o.Model.Predict(an.CF)
-
-	// Per-loop reports.
-	an.Loops = make([]LoopReport, 0, len(byLoop))
-	for _, st := range byLoop {
-		pooled := poolTrackers(st.trackers, o.Threshold)
-		rep := LoopReport{
-			Loop:         st.loop.Name(),
-			Depth:        st.loop.Depth,
-			Samples:      st.samples,
-			Contribution: float64(st.samples) / float64(an.TotalSamples),
-			SetsUsed:     pooled.setsUsed,
-			CF:           pooled.cf,
-			MeanCP:       pooled.meanCP,
-			VictimSets:   pooled.victims,
-			CDF:          pooled.cdf,
-		}
-		rep.Conflict = st.samples >= o.MinLoopSamples && o.Model.Predict(rep.CF)
-		an.Loops = append(an.Loops, rep)
-		if len(st.loop.Children) == 0 {
-			an.ActiveInnerLoops++
-		}
-	}
-	slices.SortFunc(an.Loops, func(a, b LoopReport) int {
+// sortLoops orders loop reports by decreasing sample count, ties broken
+// by name.
+func sortLoops(loops []LoopReport) {
+	slices.SortFunc(loops, func(a, b LoopReport) int {
 		if a.Samples != b.Samples {
 			return b.Samples - a.Samples
 		}
 		return cmpString(a.Loop, b.Loop)
 	})
+}
 
-	// The reports retain nothing the trackers own (loop names are strings,
-	// CDFs and victim lists are freshly built), so every tracker goes back
-	// to the pool for the next Analyze.
-	for _, cp := range globals {
-		cpPool.Put(cp)
-	}
-	for _, st := range byLoop {
-		for _, cp := range st.trackers {
-			cpPool.Put(cp)
-		}
-	}
-
-	// Function reports. The per-function cf reuses the global short-RCD
-	// attribution of each sample (the sampled sequence is one stream).
-	an.Funcs = make([]FuncReport, 0, len(funcSamples))
+// buildFuncReports renders the function-level rollup, sorted by decreasing
+// samples. The per-function cf reuses the global short-RCD attribution of
+// each sample (the sampled sequence is one stream).
+func buildFuncReports(funcSamples, funcShort map[string]int, total int) []FuncReport {
+	funcs := make([]FuncReport, 0, len(funcSamples))
 	for name, n := range funcSamples {
-		an.Funcs = append(an.Funcs, FuncReport{
+		funcs = append(funcs, FuncReport{
 			Func:         name,
 			Samples:      n,
-			Contribution: float64(n) / float64(an.TotalSamples),
+			Contribution: float64(n) / float64(total),
 			CF:           float64(funcShort[name]) / float64(n),
 		})
 	}
-	slices.SortFunc(an.Funcs, func(a, b FuncReport) int {
+	slices.SortFunc(funcs, func(a, b FuncReport) int {
 		if a.Samples != b.Samples {
 			return b.Samples - a.Samples
 		}
 		return cmpString(a.Func, b.Func)
 	})
+	return funcs
+}
 
-	// Data reports.
-	an.Data = make([]DataReport, 0, len(dataSamples))
+// buildDataReports renders data-centric attribution, sorted by decreasing
+// samples.
+func buildDataReports(dataSamples, dataShort map[string]int, total int) []DataReport {
+	data := make([]DataReport, 0, len(dataSamples))
 	for name, n := range dataSamples {
-		an.Data = append(an.Data, DataReport{
+		data = append(data, DataReport{
 			Name:         name,
 			Samples:      n,
 			ShortRCD:     dataShort[name],
-			Contribution: float64(n) / float64(an.TotalSamples),
+			Contribution: float64(n) / float64(total),
 		})
 	}
-	slices.SortFunc(an.Data, func(a, b DataReport) int {
+	slices.SortFunc(data, func(a, b DataReport) int {
 		if a.Samples != b.Samples {
 			return b.Samples - a.Samples
 		}
 		return cmpString(a.Name, b.Name)
 	})
-	return an, nil
+	return data
 }
 
 // pooledMetrics aggregates the per-thread trackers of one context.

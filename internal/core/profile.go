@@ -52,6 +52,10 @@ type Profile struct {
 	FaultDropped   uint64
 	FaultTruncated uint64
 	FaultCorrupted uint64
+	// StreamSamples counts samples consumed online in streaming mode
+	// (ProfileStream), where Samples stays empty — the stream is analyzed,
+	// never stored. Always 0 on buffered profiles.
+	StreamSamples int
 }
 
 // Degraded reports whether fault injection perturbed this profile's sample
@@ -60,9 +64,10 @@ func (p *Profile) Degraded() bool {
 	return p.FaultDropped > 0 || p.FaultTruncated > 0 || p.FaultCorrupted > 0
 }
 
-// SampleCount returns the total samples across threads.
+// SampleCount returns the total samples across threads: buffered samples
+// plus, in streaming mode, the online-consumed count.
 func (p *Profile) SampleCount() int {
-	n := 0
+	n := p.StreamSamples
 	for _, s := range p.Samples {
 		n += len(s)
 	}

@@ -46,6 +46,7 @@ func registry() map[string]Runner {
 		"analytic":   func(w io.Writer, s Scale) error { _, err := Analytic(w, s); return err },
 		"faults":     func(w io.Writer, s Scale) error { _, err := Faults(w, s); return err },
 		"specgen":    func(w io.Writer, s Scale) error { _, err := Specgen(w, s); return err },
+		"streaming":  func(w io.Writer, s Scale) error { _, err := Streaming(w, s); return err },
 		"l2ext":      func(w io.Writer, s Scale) error { _, err := L2Extension(w, s); return err },
 		"ablation-burst": func(w io.Writer, s Scale) error {
 			_, err := AblationBurst(w, s)

@@ -57,6 +57,7 @@ func sweepCases() []struct {
 		{"analytic", func(w *bytes.Buffer) (any, error) { return Analytic(w, Quick) }},
 		{"specgen", func(w *bytes.Buffer) (any, error) { return Specgen(w, Quick) }},
 		{"faults", func(w *bytes.Buffer) (any, error) { return Faults(w, Quick) }},
+		{"streaming", func(w *bytes.Buffer) (any, error) { return Streaming(w, Quick) }},
 	}
 }
 

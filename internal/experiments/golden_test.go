@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 // change that must be either fixed or consciously re-goldened with -update.
 var goldenNames = []string{
 	"fig7", "fig8", "fig9", "table2", "table3", "table4",
-	"staticconf", "analytic", "specgen", "faults",
+	"staticconf", "analytic", "specgen", "faults", "streaming",
 	"ablation-burst", "ablation-associativity", "ablation-threshold",
 	"ablation-period-dist", "ablation-replacement",
 }

@@ -125,7 +125,7 @@ func ReadAllCompressed(r io.Reader, sink Sink) (int, error) {
 	}
 }
 
-// ReadAny sniffs the magic and replays either a plain or compressed trace.
+// ReadAny sniffs the magic and replays a plain, compressed, or framed trace.
 func ReadAny(r io.Reader, sink Sink) (int, error) {
 	br := bufio.NewReader(r)
 	magic, err := br.Peek(4)
@@ -137,6 +137,8 @@ func ReadAny(r io.Reader, sink Sink) (int, error) {
 		return ReadAll(br, sink)
 	case [4]byte(magic) == compressedMagic:
 		return ReadAllCompressed(br, sink)
+	case [4]byte(magic) == frameMagic:
+		return ReadAllFramed(br, sink)
 	default:
 		return 0, errBadMagic
 	}
