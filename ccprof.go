@@ -25,7 +25,6 @@
 package ccprof
 
 import (
-	"fmt"
 	"io"
 
 	"repro/internal/advisor"
@@ -39,7 +38,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parsim"
 	"repro/internal/pmu"
-	"repro/internal/report"
 	"repro/internal/staticconf"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -236,38 +234,11 @@ const RCDThreshold = 8
 
 // WriteReport renders an analysis as text: the program verdict, the
 // per-loop table (code-centric attribution) and the per-data-structure
-// table (data-centric attribution).
+// table (data-centric attribution). ccprofd job artifacts use the same
+// renderer (core.WriteReport), so CLI and service reports are
+// byte-identical for the same analysis.
 func WriteReport(w io.Writer, an *Analysis) error {
-	verdict := "no significant conflict misses"
-	if an.Conflict {
-		verdict = "CONFLICT MISSES DETECTED"
-	}
-	if _, err := fmt.Fprintf(w,
-		"CCProf report for %s\n  samples: %d   program cf(T=%d): %s   verdict: %s\n\n",
-		an.Workload, an.TotalSamples, an.Threshold, report.Pct(an.CF), verdict); err != nil {
-		return err
-	}
-	lt := report.NewTable("Loops (code-centric attribution)",
-		"loop", "depth", "samples", "miss contrib", "sets", "cf", "conflict")
-	for _, l := range an.Loops {
-		lt.Row(l.Loop, l.Depth, l.Samples, report.Pct(l.Contribution), l.SetsUsed,
-			report.Pct(l.CF), l.Conflict)
-	}
-	if err := lt.Write(w); err != nil {
-		return err
-	}
-	if len(an.Data) == 0 {
-		return nil
-	}
-	if _, err := io.WriteString(w, "\n"); err != nil {
-		return err
-	}
-	dt := report.NewTable("Data structures (data-centric attribution)",
-		"allocation", "samples", "miss contrib", "short-RCD samples")
-	for _, d := range an.Data {
-		dt.Row(d.Name, d.Samples, report.Pct(d.Contribution), d.ShortRCD)
-	}
-	return dt.Write(w)
+	return core.WriteReport(w, an)
 }
 
 // Simulate runs a program through a full multi-level cache simulation on

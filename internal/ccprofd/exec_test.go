@@ -1,0 +1,75 @@
+package ccprofd
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestExecuteProfileIsDeterministic(t *testing.T) {
+	spec := Spec{Kind: KindProfile, Workload: "nw"}
+	a, err := executeSpec(context.Background(), spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := executeSpec(context.Background(), spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("same spec and seed rendered different artifacts")
+	}
+	if !strings.Contains(string(a), "CCProf report for nw") {
+		t.Fatalf("artifact missing report header:\n%s", a)
+	}
+	c, err := executeSpec(context.Background(), spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(c) {
+		t.Fatal("different seeds rendered identical sample counts — seed not plumbed?")
+	}
+}
+
+func TestExecuteProfileDegradedNote(t *testing.T) {
+	spec := Spec{Kind: KindProfile, Workload: "nw", FaultDrop: 0.5, FaultSeed: 23}
+	out, err := executeSpec(context.Background(), spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "degraded") {
+		t.Fatalf("heavily dropped profile rendered no degraded note:\n%.300s", out)
+	}
+}
+
+func TestExecuteAdvise(t *testing.T) {
+	out, err := executeSpec(context.Background(), Spec{Kind: KindAdvise, Workload: "nw"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, "pad sweep for NW") || !strings.Contains(s, "recommended pad:") {
+		t.Fatalf("advise artifact malformed:\n%s", s)
+	}
+	if strings.Contains(s, "workers") {
+		t.Fatal("advise artifact leaks the worker count (config-dependent bytes)")
+	}
+}
+
+func TestExecuteExperiment(t *testing.T) {
+	out, err := executeSpec(context.Background(), Spec{Kind: KindExperiment, Experiment: "fig9", Quick: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "experiment fig9 (quick scale)") {
+		t.Fatalf("experiment artifact malformed:\n%.300s", out)
+	}
+}
+
+func TestExecuteCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := executeSpec(ctx, Spec{Kind: KindProfile, Workload: "nw"}, 1); err == nil {
+		t.Fatal("cancelled context still produced an artifact")
+	}
+}

@@ -1,0 +1,126 @@
+package ccprofd
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTestJournal(t *testing.T, path string) (*Journal, []*Job) {
+	t.Helper()
+	j, jobs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, jobs
+}
+
+func TestJournalReplayLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, jobs := openTestJournal(t, path)
+	if len(jobs) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(jobs))
+	}
+	a := &Job{ID: "j000000", Seq: 0, Spec: Spec{Kind: KindProfile, Workload: "nw"}, State: StateQueued}
+	b := &Job{ID: "j000001", Seq: 1, Spec: Spec{Kind: KindExperiment, Experiment: "fig9"}, State: StateQueued}
+	for _, job := range []*Job{a, b} {
+		if err := j.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Done(a.ID, "abc123", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Failed(b.ID, "boom", "panic", 3); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, replayed := openTestJournal(t, path)
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(replayed))
+	}
+	ra, rb := replayed[0], replayed[1]
+	if ra.State != StateDone || ra.Artifact != "abc123" || ra.Attempts != 2 {
+		t.Fatalf("job a replayed as %+v", ra)
+	}
+	if rb.State != StateFailed || rb.Error != "boom" || rb.FailKind != "panic" || rb.Attempts != 3 {
+		t.Fatalf("job b replayed as %+v", rb)
+	}
+}
+
+func TestJournalTornLineAndUnfinishedResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _ := openTestJournal(t, path)
+	queued := &Job{ID: "j000000", Spec: Spec{Kind: KindProfile, Workload: "nw"}, State: StateQueued}
+	running := &Job{ID: "j000001", Spec: Spec{Kind: KindProfile, Workload: "adi"}, State: StateRunning}
+	for _, job := range []*Job{queued, running} {
+		if err := j.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// Simulate a crash mid-append: torn trailing line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"ev":"done","id":"j0000`)
+	f.Close()
+
+	_, replayed := openTestJournal(t, path)
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d jobs, want 2 (torn line must not eat entries)", len(replayed))
+	}
+	for _, job := range replayed {
+		if job.State != StateQueued || !job.Resumed {
+			t.Fatalf("unfinished job replayed as %+v, want queued+resumed", job)
+		}
+	}
+}
+
+func TestJournalCompactsOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _ := openTestJournal(t, path)
+	job := &Job{ID: "j000000", Spec: Spec{Kind: KindProfile, Workload: "nw"}, State: StateQueued}
+	if err := j.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done(job.ID, "feed", 1); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	before, _ := os.ReadFile(path)
+	if n := strings.Count(string(before), "\n"); n != 2 {
+		t.Fatalf("pre-compaction journal has %d lines, want 2", n)
+	}
+
+	_, replayed := openTestJournal(t, path)
+	after, _ := os.ReadFile(path)
+	if n := strings.Count(string(after), "\n"); n != 1 {
+		t.Fatalf("compacted journal has %d lines, want 1:\n%s", n, after)
+	}
+	if len(replayed) != 1 || replayed[0].State != StateDone || replayed[0].Artifact != "feed" {
+		t.Fatalf("post-compaction replay = %+v", replayed)
+	}
+	if temps, _ := filepath.Glob(path + journalTempPattern); len(temps) != 0 {
+		t.Fatalf("compaction temps left behind: %v", temps)
+	}
+}
+
+func TestJournalAppendAfterCloseFailsSoftly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Done("j000000", "x", 1); err != ErrJournalClosed {
+		t.Fatalf("append after close = %v, want ErrJournalClosed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}

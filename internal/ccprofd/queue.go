@@ -1,0 +1,41 @@
+package ccprofd
+
+import "repro/internal/obs"
+
+// queue is the bounded admission queue. Admission control is the
+// daemon's backpressure valve: when the channel is full, submissions are
+// rejected with 429 instead of buffering without bound.
+//
+// Admissions serialize under the daemon mutex and workers only ever
+// shrink the channel, so "len < cap, then send" cannot block.
+type queue struct {
+	ch       chan *Job
+	depth    *obs.Gauge
+	rejected *obs.Counter
+}
+
+func newQueue(capacity int, reg *obs.Registry) *queue {
+	return &queue{
+		ch:       make(chan *Job, capacity),
+		depth:    reg.Gauge("ccprofd.queue_depth"),
+		rejected: reg.Counter("ccprofd.jobs_rejected"),
+	}
+}
+
+// full reports whether admission would exceed the bound; the caller
+// counts the rejection.
+func (q *queue) full() bool { return len(q.ch) == cap(q.ch) }
+
+// put enqueues a job; the caller must hold the admission lock and have
+// checked full (or, on the restart path, be feeding an empty queue whose
+// workers are already draining it).
+func (q *queue) put(j *Job) {
+	q.ch <- j
+	q.depth.Set(int64(len(q.ch)))
+}
+
+// reject counts one refused admission.
+func (q *queue) reject() { q.rejected.Inc() }
+
+// take is the worker side: receive one job and republish the depth.
+func (q *queue) note() { q.depth.Set(int64(len(q.ch))) }

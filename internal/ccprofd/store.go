@@ -1,0 +1,126 @@
+package ccprofd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is a crash-safe content-addressed artifact store: each artifact
+// lives at <dir>/<sha256 hex of its bytes>.
+//
+// Durability rules:
+//
+//   - Put writes to a temp file in the same directory, fsyncs it, and
+//     renames it into place, so a kill at any instant leaves either no
+//     entry or a complete one — never a torn artifact.
+//   - Get re-hashes what it reads and refuses to return bytes whose hash
+//     does not match the name, so even out-of-band corruption (a flipped
+//     bit on disk) is detected, not served.
+//   - Content addressing makes Put idempotent: re-running a job after a
+//     crash re-produces the same bytes and lands on the same name.
+type Store struct {
+	dir string
+}
+
+// ErrCorruptArtifact marks a stored artifact whose bytes no longer hash
+// to its name.
+var ErrCorruptArtifact = errors.New("ccprofd: artifact failed sha256 verification")
+
+// storeTempPattern names in-progress writes; they hold nothing durable.
+const storeTempPattern = ".put-*"
+
+// OpenStore opens (creating if needed) the artifact directory and sweeps
+// up temp files a killed predecessor left behind.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if stale, err := filepath.Glob(filepath.Join(dir, storeTempPattern)); err == nil {
+		for _, p := range stale {
+			os.Remove(p)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Put stores data under its sha256 and returns the hex hash. Writing the
+// same content twice is harmless: the second rename atomically replaces
+// an identical file.
+func (s *Store) Put(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
+	tmp, err := os.CreateTemp(s.dir, storeTempPattern)
+	if err != nil {
+		return "", err
+	}
+	discard := func() {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}
+	if _, err := tmp.Write(data); err != nil {
+		discard()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		discard()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), s.Path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	syncStoreDir(s.dir)
+	return hash, nil
+}
+
+// Get returns the artifact stored under hash after verifying that its
+// bytes still hash to that name. A mismatch returns ErrCorruptArtifact.
+func (s *Store) Get(hash string) ([]byte, error) {
+	if !validHash(hash) {
+		return nil, fmt.Errorf("ccprofd: malformed artifact hash %q", hash)
+	}
+	data, err := os.ReadFile(s.Path(hash))
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != hash {
+		return nil, fmt.Errorf("%w: %s", ErrCorruptArtifact, hash)
+	}
+	return data, nil
+}
+
+// Path returns the on-disk location of an artifact; tests use it to
+// corrupt stored bytes deliberately.
+func (s *Store) Path(hash string) string { return filepath.Join(s.dir, hash) }
+
+// validHash accepts exactly a lowercase sha256 hex string, which also
+// keeps request-supplied hashes from traversing out of the store dir.
+func validHash(h string) bool {
+	if len(h) != sha256.Size*2 {
+		return false
+	}
+	return strings.IndexFunc(h, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
+	}) < 0
+}
+
+// syncStoreDir fsyncs the store directory so a just-renamed artifact's
+// entry is durable. Best-effort, like parsim's checkpoint rename.
+func syncStoreDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,97 @@
+package ccprofd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	s, err := OpenStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("conflict report\n")
+	hash, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sha256.Sum256(data)
+	if hash != hex.EncodeToString(want[:]) {
+		t.Fatalf("Put returned %q, want the content sha256", hash)
+	}
+	got, err := s.Get(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("Get = %q, want %q", got, data)
+	}
+	// Idempotent re-put of the same bytes.
+	again, err := s.Put(data)
+	if err != nil || again != hash {
+		t.Fatalf("re-Put = %q, %v; want %q, nil", again, err, hash)
+	}
+}
+
+func TestStoreDetectsCorruption(t *testing.T) {
+	s, err := OpenStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := s.Put([]byte("pristine artifact"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte on disk, out of band.
+	raw, err := os.ReadFile(s.Path(hash))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0x40
+	if err := os.WriteFile(s.Path(hash), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(hash); !errors.Is(err, ErrCorruptArtifact) {
+		t.Fatalf("Get of corrupted artifact = %v, want ErrCorruptArtifact", err)
+	}
+}
+
+func TestStoreRejectsMalformedHash(t *testing.T) {
+	s, err := OpenStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{
+		"",
+		"short",
+		"../../../../etc/passwd",
+		strings.Repeat("Z", 64), // right length, not hex
+	} {
+		if _, err := s.Get(h); err == nil {
+			t.Errorf("Get(%q) accepted a malformed hash", h)
+		}
+	}
+}
+
+func TestStoreSweepsStaleTemps(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A killed predecessor's half-written temp.
+	stale := filepath.Join(dir, ".put-123456")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived OpenStore: %v", err)
+	}
+}

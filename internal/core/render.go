@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// WriteReport renders an analysis as text: the program verdict, the
+// per-loop table (code-centric attribution) and the per-data-structure
+// table (data-centric attribution). The root ccprof facade and the ccprofd
+// job executor both delegate here, so a CLI run and a daemon job render
+// byte-identical reports for the same analysis.
+func WriteReport(w io.Writer, an *Analysis) error {
+	verdict := "no significant conflict misses"
+	if an.Conflict {
+		verdict = "CONFLICT MISSES DETECTED"
+	}
+	if _, err := fmt.Fprintf(w,
+		"CCProf report for %s\n  samples: %d   program cf(T=%d): %s   verdict: %s\n\n",
+		an.Workload, an.TotalSamples, an.Threshold, report.Pct(an.CF), verdict); err != nil {
+		return err
+	}
+	lt := report.NewTable("Loops (code-centric attribution)",
+		"loop", "depth", "samples", "miss contrib", "sets", "cf", "conflict")
+	for _, l := range an.Loops {
+		lt.Row(l.Loop, l.Depth, l.Samples, report.Pct(l.Contribution), l.SetsUsed,
+			report.Pct(l.CF), l.Conflict)
+	}
+	if err := lt.Write(w); err != nil {
+		return err
+	}
+	if len(an.Data) == 0 {
+		return nil
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	dt := report.NewTable("Data structures (data-centric attribution)",
+		"allocation", "samples", "miss contrib", "short-RCD samples")
+	for _, d := range an.Data {
+		dt.Row(d.Name, d.Samples, report.Pct(d.Contribution), d.ShortRCD)
+	}
+	return dt.Write(w)
+}

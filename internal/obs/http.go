@@ -1,11 +1,15 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
+	"time"
 )
 
 // String implements expvar.Var: the registry renders as its snapshot JSON,
@@ -53,16 +57,66 @@ func (r *Registry) Handler() http.Handler {
 	return mux
 }
 
+// shutdownTimeout bounds how long a metrics shutdown waits for in-flight
+// requests before closing their connections.
+const shutdownTimeout = 5 * time.Second
+
 // Serve publishes the registry (under "ccprof") and serves Handler on addr
 // in a background goroutine. It returns the bound address (useful with
-// ":0") and a shutdown function. The CLIs wire this to -metrics-addr.
+// ":0") and a shutdown function that drains in-flight requests
+// (http.Server.Shutdown under a timeout) and reports the first serving
+// failure, if the server died before it was asked to stop. The CLIs wire
+// this to -metrics-addr.
 func (r *Registry) Serve(addr string) (string, func() error, error) {
+	return r.ServeNotify(addr, nil)
+}
+
+// ServeNotify is Serve with a death notification: a metrics server that
+// stops serving for any reason other than a clean shutdown calls onErr
+// (when non-nil) once with the listener failure, from the serving
+// goroutine. Long-running processes wire onErr to their logs so a dying
+// health surface is visible the moment it happens instead of at exit.
+func (r *Registry) ServeNotify(addr string, onErr func(error)) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	r.Publish("ccprof")
-	srv := &http.Server{Handler: r.Handler()}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	return r.serveOn(ln, onErr)
+}
+
+// serveOn runs the HTTP server on an already-bound listener. Split from
+// ServeNotify so tests can inject a failing listener.
+func (r *Registry) serveOn(ln net.Listener, onErr func(error)) (string, func() error, error) {
+	return serveHandler(ln, r.Handler(), onErr)
+}
+
+// serveHandler is the transport core shared by serveOn and its tests: it
+// serves h on ln in a background goroutine, reports server death through
+// onErr, and returns an idempotent graceful-shutdown func.
+func serveHandler(ln net.Listener, h http.Handler, onErr func(error)) (string, func() error, error) {
+	srv := &http.Server{Handler: h}
+	served := make(chan error, 1)
+	go func() {
+		err := srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil // clean shutdown, not a death
+		}
+		if err != nil && onErr != nil {
+			onErr(err)
+		}
+		served <- err
+	}()
+	shutdown := sync.OnceValue(func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		serr := srv.Shutdown(ctx)
+		if err := <-served; err != nil {
+			// The server had already died on its own; that failure is the
+			// interesting one, not the redundant shutdown.
+			return err
+		}
+		return serr
+	})
+	return ln.Addr().String(), shutdown, nil
 }

@@ -2,12 +2,16 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestHandlerMetrics(t *testing.T) {
@@ -75,6 +79,108 @@ func TestPublishIdempotent(t *testing.T) {
 	r.Publish(name)
 	r.Publish(name)
 	r.Publish(name + "_other")
+}
+
+// deadListener is a net.Listener whose Accept fails permanently after
+// accepting nothing — the shape of a metrics listener dying under a
+// long-running daemon.
+type deadListener struct {
+	err    error
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newDeadListener(err error) *deadListener {
+	return &deadListener{err: err, closed: make(chan struct{})}
+}
+
+func (l *deadListener) Accept() (net.Conn, error) { return nil, l.err }
+func (l *deadListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+func (l *deadListener) Addr() net.Addr {
+	return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+}
+
+// TestServeSurfacesListenerError: a dying metrics server must not be
+// invisible — the onErr callback fires with the listener failure, and the
+// shutdown func returns it instead of nil.
+func TestServeSurfacesListenerError(t *testing.T) {
+	r := New()
+	boom := errors.New("listener exploded")
+	got := make(chan error, 1)
+	_, shutdown, err := r.serveOn(newDeadListener(boom), func(err error) { got <- err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, boom) {
+			t.Fatalf("onErr got %v, want %v", err, boom)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("onErr was never called for a dead listener")
+	}
+	if err := shutdown(); !errors.Is(err, boom) {
+		t.Fatalf("shutdown() = %v, want the serve failure %v", err, boom)
+	}
+	// Idempotent: a second shutdown reports the same failure, not a hang.
+	if err := shutdown(); !errors.Is(err, boom) {
+		t.Fatalf("second shutdown() = %v, want %v", err, boom)
+	}
+}
+
+// TestServeShutdownGraceful: shutdown must drain an in-flight request via
+// http.Server.Shutdown rather than slamming the connection closed.
+func TestServeShutdownGraceful(t *testing.T) {
+	r := New()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.Handle("/", r.Handler())
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, shutdown, err := serveHandler(ln, mux, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		body string
+		err  error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		resc <- result{body: string(b), err: err}
+	}()
+	<-started
+	shutErr := make(chan error, 1)
+	go func() { shutErr <- shutdown() }()
+	// Let Shutdown begin refusing new work, then release the in-flight
+	// request; it must complete with its full body.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	res := <-resc
+	if res.err != nil || res.body != "done" {
+		t.Fatalf("in-flight request during shutdown: body %q, err %v", res.body, res.err)
+	}
+	if err := <-shutErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
 }
 
 func TestServe(t *testing.T) {

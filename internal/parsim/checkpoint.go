@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -41,33 +42,116 @@ type ckWriter struct {
 	firstErr error
 }
 
+// ckCompactTestHook, when non-nil, runs after the compacted temp file is
+// durable but before it is renamed over the checkpoint — the widest window
+// a crash-safety test can probe. Tests that simulate a kill there panic out
+// of it.
+var ckCompactTestHook func()
+
 // openCheckpoint prepares the checkpoint for one sweep: on Resume it
 // restores persisted results into results (marking restored), tolerating a
 // truncated or corrupt trailing line (the signature of a crash mid-append),
 // then rewrites the file compactly from the restored entries — a torn
 // trailing line must not swallow the first entry appended after it. Without
-// Resume the file is truncated. The returned writer appends new completions.
+// Resume an existing checkpoint is discarded and the sweep starts clean.
+// The returned writer appends new completions.
+//
+// The compact rewrite is crash-safe: the replacement is written to a temp
+// file in the same directory, fsynced, and renamed over the checkpoint
+// atomically, so a kill at any instant leaves either the old file (every
+// previously durable shard intact and restorable) or the fully compacted
+// new one — never a truncated in-between. Orphaned temp files from an
+// earlier kill are swept up first.
 func openCheckpoint[T any](ck *Checkpoint, restored []bool, results []T) (*ckWriter, error) {
 	if ck.Resume {
 		if err := restoreCheckpoint(ck.Path, restored, results); err != nil {
 			return nil, err
 		}
 	}
-	f, err := os.OpenFile(ck.Path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	removeStaleTemps(ck.Path)
+	tmp, err := os.CreateTemp(filepath.Dir(ck.Path), filepath.Base(ck.Path)+ckTempPattern)
 	if err != nil {
 		return nil, err
 	}
-	w := &ckWriter{f: f}
+	discard := func() {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}
 	for i, ok := range restored {
-		if ok {
-			w.store(i, results[i])
+		if !ok {
+			continue
+		}
+		line, err := encodeEntry(i, results[i])
+		if err != nil {
+			discard()
+			return nil, err
+		}
+		if _, err := tmp.Write(line); err != nil {
+			discard()
+			return nil, err
 		}
 	}
-	if err := w.err(); err != nil {
-		w.close()
+	if err := tmp.Sync(); err != nil {
+		discard()
 		return nil, err
 	}
-	return w, nil
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	if ckCompactTestHook != nil {
+		ckCompactTestHook()
+	}
+	if err := os.Rename(tmp.Name(), ck.Path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	syncDir(filepath.Dir(ck.Path))
+	f, err := os.OpenFile(ck.Path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &ckWriter{f: f}, nil
+}
+
+// ckTempPattern suffixes the in-progress compaction file next to its
+// checkpoint.
+const ckTempPattern = ".compact-*"
+
+// removeStaleTemps deletes compaction temp files a killed predecessor left
+// behind; they were never renamed, so they hold nothing durable.
+func removeStaleTemps(path string) {
+	stale, err := filepath.Glob(path + ckTempPattern)
+	if err != nil {
+		return
+	}
+	for _, p := range stale {
+		os.Remove(p)
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. Best-effort: not every filesystem supports it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// encodeEntry renders one checkpoint line (JSONL entry plus newline).
+func encodeEntry(i int, v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("encoding shard %d: %w", i, err)
+	}
+	line, err := json.Marshal(ckEntry{I: i, V: raw})
+	if err != nil {
+		return nil, fmt.Errorf("encoding shard %d: %w", i, err)
+	}
+	return append(line, '\n'), nil
 }
 
 // restoreCheckpoint loads every parsable entry of a checkpoint file.
@@ -105,26 +189,17 @@ func restoreCheckpoint[T any](path string, restored []bool, results []T) error {
 
 // store appends one completed result. Safe for concurrent workers.
 func (w *ckWriter) store(i int, v any) {
-	raw, err := json.Marshal(v)
-	if err == nil {
-		var line []byte
-		line, err = json.Marshal(ckEntry{I: i, V: raw})
-		if err == nil {
-			line = append(line, '\n')
-			w.mu.Lock()
-			if w.firstErr == nil {
-				_, werr := w.f.Write(line)
-				w.firstErr = werr
-			}
-			w.mu.Unlock()
-			return
-		}
-	}
+	line, err := encodeEntry(i, v)
 	w.mu.Lock()
-	if w.firstErr == nil {
-		w.firstErr = fmt.Errorf("encoding shard %d: %w", i, err)
+	defer w.mu.Unlock()
+	if w.firstErr != nil {
+		return
 	}
-	w.mu.Unlock()
+	if err != nil {
+		w.firstErr = err
+		return
+	}
+	_, w.firstErr = w.f.Write(line)
 }
 
 // err returns the first store failure, if any.
@@ -134,7 +209,11 @@ func (w *ckWriter) err() error {
 	return w.firstErr
 }
 
-// close releases the file handle.
+// close makes the appended entries durable and releases the file handle.
+// The fsync is best-effort — append durability against power loss is
+// per-OS-flush by design (see Checkpoint) — but it costs one syscall per
+// sweep and upgrades the common clean-exit case to fully durable.
 func (w *ckWriter) close() {
+	w.f.Sync()
 	w.f.Close()
 }

@@ -1,0 +1,145 @@
+package parsim
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCheckpointLines composes a checkpoint file from raw lines.
+func writeCheckpointLines(t *testing.T, path string, lines ...string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readEntries parses every well-formed entry of a checkpoint file.
+func readEntries(t *testing.T, path string) map[int]int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got := map[int]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e ckEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue
+		}
+		var v int
+		if err := json.Unmarshal(e.V, &v); err != nil {
+			continue
+		}
+		got[e.I] = v
+	}
+	return got
+}
+
+// TestCheckpointCompactionCrashWindow probes the widest kill window of the
+// compact rewrite: after the replacement temp file is written but before it
+// is renamed over the checkpoint. A kill there (simulated by a panic from
+// the test hook) must leave every previously durable shard restorable from
+// the original file, and the next resume must both recover them all and
+// sweep up the orphaned temp.
+func TestCheckpointCompactionCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.ckpt")
+	// Three durable shards plus a torn trailing line — the on-disk state of
+	// a sweep killed mid-append.
+	writeCheckpointLines(t, path,
+		`{"i":0,"v":100}`+"\n",
+		`{"i":2,"v":102}`+"\n",
+		`{"i":3,"v":103}`+"\n",
+		`{"i":1,"v":1`) // torn
+
+	// Kill during compaction.
+	ckCompactTestHook = func() { panic("simulated kill during compaction") }
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("hook did not fire")
+			}
+		}()
+		restored := make([]bool, 4)
+		results := make([]int, 4)
+		_, _ = openCheckpoint(&Checkpoint{Path: path, Resume: true}, restored, results)
+	}()
+	ckCompactTestHook = nil
+
+	// The original checkpoint must be byte-intact: all three durable shards
+	// still parse.
+	if got := readEntries(t, path); len(got) != 3 || got[0] != 100 || got[2] != 102 || got[3] != 103 {
+		t.Fatalf("durable shards lost in the crash window: %v", got)
+	}
+	temps, _ := filepath.Glob(path + ckTempPattern)
+	if len(temps) == 0 {
+		t.Fatal("simulated kill left no orphan temp (hook fired too early?)")
+	}
+
+	// Restart: resume must restore all three shards, run only shard 1, and
+	// clean up the orphan.
+	ran := map[int]bool{}
+	res, rep, err := RunCtx(4, Options{Workers: 1, Checkpoint: &Checkpoint{Path: path, Resume: true}},
+		func(_ context.Context, i int) (int, error) {
+			ran[i] = true
+			return 100 + i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restored != 3 {
+		t.Fatalf("Restored = %d, want 3", rep.Restored)
+	}
+	if len(ran) != 1 || !ran[1] {
+		t.Fatalf("resume re-ran shards %v, want only shard 1", ran)
+	}
+	for i, v := range res {
+		if v != 100+i {
+			t.Fatalf("res[%d] = %d, want %d", i, v, 100+i)
+		}
+	}
+	if temps, _ := filepath.Glob(path + ckTempPattern); len(temps) != 0 {
+		t.Fatalf("stale compaction temps survived resume: %v", temps)
+	}
+	// And the compacted file now carries all four shards.
+	if got := readEntries(t, path); len(got) != 4 {
+		t.Fatalf("post-resume checkpoint = %v, want 4 entries", got)
+	}
+}
+
+// TestCheckpointCompactionAtomic: a completed compaction leaves exactly the
+// restored entries, no temp files, and appends keep working afterwards.
+func TestCheckpointCompactionAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.ckpt")
+	writeCheckpointLines(t, path,
+		`{"i":1,"v":11}`+"\n",
+		`not json at all`+"\n",
+		`{"i":0,"v":10}`+"\n")
+
+	restored := make([]bool, 3)
+	results := make([]int, 3)
+	w, err := openCheckpoint(&Checkpoint{Path: path, Resume: true}, restored, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.store(2, 12)
+	if err := w.err(); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+
+	if temps, _ := filepath.Glob(path + ckTempPattern); len(temps) != 0 {
+		t.Fatalf("temp files left after compaction: %v", temps)
+	}
+	if got := readEntries(t, path); len(got) != 3 || got[0] != 10 || got[1] != 11 || got[2] != 12 {
+		t.Fatalf("compacted+appended checkpoint = %v", got)
+	}
+}
